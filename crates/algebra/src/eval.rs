@@ -1,0 +1,186 @@
+//! The WSD-level executor: evaluates plans on u-relations without expanding
+//! worlds.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use maybms_core::{ComponentSet, MayError, Schema, URelation, Value, WorldSet};
+
+use crate::plan::Plan;
+
+/// Evaluation context handed to operators: the base relations (read-only)
+/// and the component set (mutable, so extension operators like `repair-key`
+/// can mint new components).
+pub struct EvalCtx<'a> {
+    /// The base u-relations, by name.
+    pub relations: &'a BTreeMap<String, URelation>,
+    /// The components of the world set.
+    pub components: &'a mut ComponentSet,
+    /// Memoized results of extension operators, keyed by `Arc` identity.
+    /// A shared (cloned) `repair-key` subtree must evaluate *once* per run:
+    /// re-running it would mint fresh components for each occurrence and
+    /// silently decorrelate what the plan author shares deliberately.
+    ext_cache: HashMap<usize, URelation>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Build a fresh context (with an empty extension-operator memo).
+    pub fn new(
+        relations: &'a BTreeMap<String, URelation>,
+        components: &'a mut ComponentSet,
+    ) -> Self {
+        EvalCtx {
+            relations,
+            components,
+            ext_cache: HashMap::new(),
+        }
+    }
+}
+
+/// Evaluate a plan against a world set. New components created by extension
+/// operators are added to `ws.components`; the base relations are untouched.
+///
+/// Within one `run`, a *shared* extension subtree (the same `Arc`, e.g. a
+/// cloned `repair-key` plan used on both sides of a join) is evaluated once
+/// and its result reused, so both occurrences refer to the same components.
+/// Two structurally equal but separately constructed subtrees remain
+/// independent repairs — sharing is by `Arc` identity, which is what plan
+/// `clone()` preserves.
+pub fn run(ws: &mut WorldSet, plan: &Plan) -> Result<URelation, MayError> {
+    let WorldSet {
+        components,
+        relations,
+    } = ws;
+    let mut ctx = EvalCtx::new(relations, components);
+    eval(plan, &mut ctx)
+}
+
+/// Evaluate a plan in a context. See the crate docs for why each operator is
+/// sound on the compact representation.
+pub fn eval(plan: &Plan, ctx: &mut EvalCtx<'_>) -> Result<URelation, MayError> {
+    match plan {
+        Plan::Scan(name) => ctx
+            .relations
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MayError::UnknownRelation(name.clone())),
+        Plan::Select { input, predicate } => {
+            let r = eval(input, ctx)?;
+            let bound = predicate.bind(r.schema())?;
+            let mut out = URelation::new(r.schema().clone());
+            for (t, d) in r.rows() {
+                if bound.matches(t) {
+                    out.push(t.clone(), d.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        Plan::Project { input, columns } => {
+            let r = eval(input, ctx)?;
+            let (schema, idx) = r.schema().project(columns)?;
+            let mut out = URelation::new(schema);
+            for (t, d) in r.rows() {
+                out.push(t.project(&idx), d.clone())?;
+            }
+            out.dedup();
+            Ok(out)
+        }
+        Plan::NaturalJoin { left, right } => {
+            let l = eval(left, ctx)?;
+            let r = eval(right, ctx)?;
+            let jp = l.schema().natural_join(r.schema())?;
+            // Hash join: build on the right side, probe with the left.
+            let mut built: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (i, (t, _)) in r.rows().iter().enumerate() {
+                built.entry(jp.right_key(t)).or_default().push(i);
+            }
+            let mut out = URelation::new(jp.schema.clone());
+            for (lt, ld) in l.rows() {
+                if let Some(matches) = built.get(&jp.left_key(lt)) {
+                    for &i in matches {
+                        let (rt, rd) = &r.rows()[i];
+                        // A joined tuple exists only in worlds where both
+                        // inputs exist: the conjunction of the descriptors.
+                        // Inconsistent descriptors denote no worlds — drop.
+                        if let Some(d) = ld.conjoin(rd) {
+                            out.push(jp.combine(lt, rt), d)?;
+                        }
+                    }
+                }
+            }
+            out.dedup();
+            Ok(out)
+        }
+        Plan::Union { left, right } => {
+            let l = eval(left, ctx)?;
+            let r = eval(right, ctx)?;
+            l.schema().union_compatible(r.schema())?;
+            let mut out = l;
+            for (t, d) in r.rows() {
+                out.push(t.clone(), d.clone())?;
+            }
+            out.dedup();
+            Ok(out)
+        }
+        Plan::Rename { input, renames } => {
+            let r = eval(input, ctx)?;
+            let schema = r.schema().rename(renames)?;
+            let mut out = URelation::new(schema);
+            for (t, d) in r.rows() {
+                out.push(t.clone(), d.clone())?;
+            }
+            Ok(out)
+        }
+        Plan::Ext(op) => {
+            let key = Arc::as_ptr(op) as *const () as usize;
+            if let Some(cached) = ctx.ext_cache.get(&key) {
+                return Ok(cached.clone());
+            }
+            let inputs = op
+                .inputs()
+                .into_iter()
+                .map(|p| eval(p, ctx))
+                .collect::<Result<Vec<_>, _>>()?;
+            let result = op.eval(ctx, inputs)?;
+            ctx.ext_cache.insert(key, result.clone());
+            Ok(result)
+        }
+    }
+}
+
+/// Infer the output schema of a plan without evaluating it.
+pub fn infer_schema(
+    plan: &Plan,
+    relations: &BTreeMap<String, URelation>,
+) -> Result<Schema, MayError> {
+    match plan {
+        Plan::Scan(name) => relations
+            .get(name)
+            .map(|r| r.schema().clone())
+            .ok_or_else(|| MayError::UnknownRelation(name.clone())),
+        Plan::Select { input, predicate } => {
+            let s = infer_schema(input, relations)?;
+            // Bind to surface unknown-column errors at planning time.
+            predicate.bind(&s)?;
+            Ok(s)
+        }
+        Plan::Project { input, columns } => Ok(infer_schema(input, relations)?.project(columns)?.0),
+        Plan::NaturalJoin { left, right } => Ok(infer_schema(left, relations)?
+            .natural_join(&infer_schema(right, relations)?)?
+            .schema),
+        Plan::Union { left, right } => {
+            let l = infer_schema(left, relations)?;
+            l.union_compatible(&infer_schema(right, relations)?)?;
+            Ok(l)
+        }
+        Plan::Rename { input, renames } => Ok(infer_schema(input, relations)?.rename(renames)?),
+        Plan::Ext(op) => {
+            let schemas = op
+                .inputs()
+                .into_iter()
+                .map(|p| infer_schema(p, relations))
+                .collect::<Result<Vec<_>, _>>()?;
+            op.output_schema(&schemas)
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! The extension-operator interface that keeps the plan IR open.
+
+use std::fmt;
+
+use maybms_core::{MayError, Schema, URelation};
+
+use crate::eval::EvalCtx;
+use crate::plan::Plan;
+
+/// An operator plugged into the plan IR from a higher layer.
+///
+/// Extension operators receive their already-evaluated inputs plus the
+/// evaluation context, which gives mutable access to the component set —
+/// that is what lets `repair-key` *introduce* new components (uncertainty)
+/// and lets `certain`/`conf` consult component probabilities.
+pub trait ExtOperator: fmt::Debug + Send + Sync {
+    /// Operator name, for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// The operator's input plans, evaluated before [`ExtOperator::eval`] is
+    /// called.
+    fn inputs(&self) -> Vec<&Plan>;
+
+    /// The output schema, given the input schemas (used for plan-level
+    /// schema inference).
+    fn output_schema(&self, inputs: &[Schema]) -> Result<Schema, MayError>;
+
+    /// Evaluate on the WSD representation.
+    fn eval(&self, ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError>;
+}

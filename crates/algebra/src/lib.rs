@@ -1,0 +1,36 @@
+//! # maybms-algebra — the query algebra layer
+//!
+//! A logical plan IR ([`plan::Plan`]) for the *positive relational algebra*
+//! — selection, projection, natural join, union, renaming — together with an
+//! executor ([`eval`]) that evaluates plans **directly on the world-set
+//! decomposition** of `maybms-core`, without ever expanding the worlds.
+//!
+//! The key facts making that possible (Antova, Koch & Olteanu, VLDB 2007):
+//! positive relational algebra commutes with possible-world instantiation
+//! when tuples carry world-set descriptors. Selection and projection keep
+//! descriptors untouched; a join combines two tuples only when their
+//! descriptors are *consistent* (no component assigned two different
+//! alternatives) and annotates the result with the conjunction; union
+//! concatenates. The per-world instantiation of the result then equals the
+//! per-world result of the plain algebra — a property the test suite checks
+//! differentially against the enumerate-all-worlds oracle for randomized
+//! databases and plans.
+//!
+//! The IR is open: [`ext::ExtOperator`] lets higher layers add operators with
+//! access to the component set. `maybms-ql` uses it for `repair-key`,
+//! `possible`, `certain`, and `conf`.
+//!
+//! [`naive`] evaluates the same plans with the textbook single-world
+//! algebra, which is what the differential tests run inside each enumerated
+//! world.
+
+pub mod eval;
+pub mod ext;
+pub mod naive;
+pub mod plan;
+pub mod predicate;
+
+pub use eval::{eval, infer_schema, run, EvalCtx};
+pub use ext::ExtOperator;
+pub use plan::Plan;
+pub use predicate::{col, lit, CmpOp, Operand, Predicate};

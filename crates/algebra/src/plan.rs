@@ -1,0 +1,106 @@
+//! The logical plan IR for the positive relational algebra.
+
+use std::sync::Arc;
+
+use crate::ext::ExtOperator;
+use crate::predicate::Predicate;
+
+/// A logical query plan over the relations of a
+/// [`maybms_core::world::WorldSet`].
+///
+/// The core variants are exactly the positive relational algebra of the
+/// paper. The [`Plan::Ext`] variant keeps the IR open for higher layers:
+/// `maybms-ql` plugs `repair-key`, `possible`, `certain`, and `conf` in as
+/// [`ExtOperator`]s without this crate knowing about them.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Read a named base relation.
+    Scan(String),
+    /// Keep tuples satisfying a predicate.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Selection predicate.
+        predicate: Predicate,
+    },
+    /// Project onto named columns (set semantics).
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output column names, in order.
+        columns: Vec<String>,
+    },
+    /// Natural join on all columns shared by name.
+    NaturalJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Set union of union-compatible inputs.
+    Union {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Rename columns via `(old, new)` pairs.
+    Rename {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(old, new)` name pairs.
+        renames: Vec<(String, String)>,
+    },
+    /// An extension operator (see [`ExtOperator`]).
+    Ext(Arc<dyn ExtOperator>),
+}
+
+impl Plan {
+    /// Scan a base relation.
+    pub fn scan(name: impl Into<String>) -> Plan {
+        Plan::Scan(name.into())
+    }
+
+    /// Apply a selection.
+    pub fn select(self, predicate: Predicate) -> Plan {
+        Plan::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Apply a projection.
+    pub fn project(self, columns: &[&str]) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// Natural-join with another plan.
+    pub fn join(self, right: Plan) -> Plan {
+        Plan::NaturalJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Union with another plan.
+    pub fn union(self, right: Plan) -> Plan {
+        Plan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Rename columns.
+    pub fn rename(self, renames: &[(&str, &str)]) -> Plan {
+        Plan::Rename {
+            input: Box::new(self),
+            renames: renames
+                .iter()
+                .map(|(o, n)| (o.to_string(), n.to_string()))
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Selection predicates over tuples.
+
+use maybms_core::{MayError, Schema, Tuple, Value};
+
+/// A comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// One side of a comparison: a column reference or a literal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// The value of the named column of the current tuple.
+    Column(String),
+    /// A constant.
+    Literal(Value),
+}
+
+/// Shorthand for a column operand.
+pub fn col(name: impl Into<String>) -> Operand {
+    Operand::Column(name.into())
+}
+
+/// Shorthand for a literal operand.
+pub fn lit(v: impl Into<Value>) -> Operand {
+    Operand::Literal(v.into())
+}
+
+/// A boolean selection predicate. Comparisons use the total order on
+/// [`Value`]; mixed-type comparisons follow the `Value` variant order rather
+/// than erroring, which keeps selection total on heterogeneous data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// A comparison between two operands.
+    Compare {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation (of the *predicate*; the algebra itself stays positive).
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// A comparison predicate.
+    pub fn cmp(op: CmpOp, lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::Compare { op, lhs, rhs }
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::cmp(CmpOp::Eq, lhs, rhs)
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: Operand, rhs: Operand) -> Predicate {
+        Predicate::cmp(CmpOp::Lt, lhs, rhs)
+    }
+
+    /// Resolve column names against a schema once, for repeated evaluation.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, MayError> {
+        Ok(match self {
+            Predicate::True => BoundPredicate::True,
+            Predicate::Compare { op, lhs, rhs } => BoundPredicate::Compare {
+                op: *op,
+                lhs: BoundOperand::bind(lhs, schema)?,
+                rhs: BoundOperand::bind(rhs, schema)?,
+            },
+            Predicate::And(ps) => BoundPredicate::And(
+                ps.iter()
+                    .map(|p| p.bind(schema))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Predicate::Or(ps) => BoundPredicate::Or(
+                ps.iter()
+                    .map(|p| p.bind(schema))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Predicate::Not(p) => BoundPredicate::Not(Box::new(p.bind(schema)?)),
+        })
+    }
+}
+
+/// An operand with column names resolved to indices.
+#[derive(Clone, Debug)]
+pub enum BoundOperand {
+    /// Value at a column index.
+    Index(usize),
+    /// A constant.
+    Literal(Value),
+}
+
+impl BoundOperand {
+    fn bind(op: &Operand, schema: &Schema) -> Result<Self, MayError> {
+        Ok(match op {
+            Operand::Column(n) => BoundOperand::Index(schema.col_index(n)?),
+            Operand::Literal(v) => BoundOperand::Literal(v.clone()),
+        })
+    }
+
+    fn value<'a>(&'a self, t: &'a Tuple) -> &'a Value {
+        match self {
+            BoundOperand::Index(i) => t.get(*i),
+            BoundOperand::Literal(v) => v,
+        }
+    }
+}
+
+/// A predicate bound to a schema; cheap to evaluate per tuple.
+#[derive(Clone, Debug)]
+pub enum BoundPredicate {
+    /// Always true.
+    True,
+    /// A bound comparison.
+    Compare {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: BoundOperand,
+        /// Right operand.
+        rhs: BoundOperand,
+    },
+    /// Conjunction.
+    And(Vec<BoundPredicate>),
+    /// Disjunction.
+    Or(Vec<BoundPredicate>),
+    /// Negation.
+    Not(Box<BoundPredicate>),
+}
+
+impl BoundPredicate {
+    /// Evaluate against one tuple.
+    pub fn matches(&self, t: &Tuple) -> bool {
+        match self {
+            BoundPredicate::True => true,
+            BoundPredicate::Compare { op, lhs, rhs } => op.test(lhs.value(t), rhs.value(t)),
+            BoundPredicate::And(ps) => ps.iter().all(|p| p.matches(t)),
+            BoundPredicate::Or(ps) => ps.iter().any(|p| p.matches(t)),
+            BoundPredicate::Not(p) => !p.matches(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_core::ValueType;
+
+    #[test]
+    fn bound_predicates_evaluate() {
+        let schema = Schema::of(&[("a", ValueType::Int), ("b", ValueType::Int)]).unwrap();
+        let p = Predicate::And(vec![
+            Predicate::lt(col("a"), col("b")),
+            Predicate::Not(Box::new(Predicate::eq(col("a"), lit(0)))),
+        ]);
+        let bound = p.bind(&schema).unwrap();
+        assert!(bound.matches(&Tuple::new(vec![1.into(), 2.into()])));
+        assert!(!bound.matches(&Tuple::new(vec![0.into(), 2.into()])));
+        assert!(!bound.matches(&Tuple::new(vec![3.into(), 2.into()])));
+    }
+}

@@ -1,0 +1,44 @@
+//! Timings for WSD normalization and a 3-way natural join, printed as one
+//! JSON object per line (see crate docs for why this is not criterion).
+
+use std::time::Instant;
+
+use maybms_algebra::{run, Plan};
+use maybms_bench::{join_workload, normalization_workload};
+use maybms_core::rng::Rng;
+
+fn emit(bench: &str, n: usize, rows_out: usize, millis: f64) {
+    println!("{{\"bench\":\"{bench}\",\"n\":{n},\"rows_out\":{rows_out},\"millis\":{millis:.3}}}");
+}
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; this harness ignores them.
+    let quick = std::env::var("MAYBMS_BENCH_QUICK").is_ok();
+    let sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    for &n in sizes {
+        let mut rng = Rng::new(0xBE7C);
+        let mut ws = normalization_workload(&mut rng, n);
+        let start = Instant::now();
+        ws.normalize();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let rows = ws.relations["r"].len();
+        emit("normalize", n, rows, elapsed);
+    }
+
+    for &n in sizes {
+        let mut rng = Rng::new(0x10A0);
+        let mut ws = join_workload(&mut rng, n);
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .join(Plan::scan("r3"));
+        let start = Instant::now();
+        let out = run(&mut ws, &plan).expect("join workload is well-typed");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        emit("join3", n, out.len(), elapsed);
+    }
+}

@@ -1,0 +1,92 @@
+//! # maybms-bench — perf-trajectory baseline
+//!
+//! Std-only benchmark data generators. The build environment has no registry
+//! access, so instead of `criterion` the bench target (`benches/wsd.rs`,
+//! `harness = false`) times operations with `std::time::Instant` and emits
+//! one JSON object per line, giving future PRs a machine-readable perf
+//! baseline. Run with `cargo bench` (set `MAYBMS_BENCH_QUICK=1` for a smoke
+//! run).
+
+use maybms_core::rng::Rng;
+use maybms_core::{Component, Schema, Tuple, URelation, Value, ValueType, WorldSet, WsDescriptor};
+
+/// Build a world set with one relation `r` of `n` rows engineered to
+/// exercise normalization: duplicate rows, absorbable descriptor pairs, and
+/// full-coverage groups that merge.
+pub fn normalization_workload(rng: &mut Rng, n: usize) -> WorldSet {
+    let mut ws = WorldSet::new();
+    let n_comps = (n / 10).max(1);
+    let mut comp_ids = Vec::with_capacity(n_comps);
+    for _ in 0..n_comps {
+        comp_ids.push(ws.components.add(Component::uniform(2).expect("2 > 0")));
+    }
+    let schema = Schema::of(&[("a", ValueType::Int), ("b", ValueType::Int)]).expect("distinct");
+    let mut rel = URelation::new(schema);
+    for i in 0..n {
+        let t = Tuple::new(vec![Value::Int((i / 4) as i64), Value::Int((i % 7) as i64)]);
+        let c = comp_ids[rng.below(comp_ids.len())];
+        match i % 4 {
+            // A full-coverage pair: (t, c=0) and (t, c=1) merge to (t, ⊤).
+            0 => {
+                rel.push(t.clone(), WsDescriptor::single(c, 0))
+                    .expect("schema ok");
+                rel.push(t, WsDescriptor::single(c, 1)).expect("schema ok");
+            }
+            // An absorbable pair: ⊤ absorbs c=0.
+            1 => {
+                rel.push(t.clone(), WsDescriptor::tautology())
+                    .expect("schema ok");
+                rel.push(t, WsDescriptor::single(c, 0)).expect("schema ok");
+            }
+            // Exact duplicates.
+            2 => {
+                let d = WsDescriptor::single(c, 0);
+                rel.push(t.clone(), d.clone()).expect("schema ok");
+                rel.push(t, d).expect("schema ok");
+            }
+            // Plain uncertain rows.
+            _ => {
+                rel.push(t, WsDescriptor::single(c, rng.below(2) as u16))
+                    .expect("schema ok");
+            }
+        }
+    }
+    ws.insert("r", rel)
+        .expect("descriptors reference fresh components");
+    ws
+}
+
+/// Build a world set with three chained relations `r1(a,b)`, `r2(b,c)`,
+/// `r3(c,d)` of `n` uncertain rows each, with join keys drawn from a domain
+/// of size `n` so a 3-way natural join stays roughly linear in output size.
+pub fn join_workload(rng: &mut Rng, n: usize) -> WorldSet {
+    let mut ws = WorldSet::new();
+    let n_comps = (n / 10).max(1);
+    let mut comp_ids = Vec::with_capacity(n_comps);
+    for _ in 0..n_comps {
+        comp_ids.push(ws.components.add(Component::uniform(2).expect("2 > 0")));
+    }
+    let specs = [("r1", ["a", "b"]), ("r2", ["b", "c"]), ("r3", ["c", "d"])];
+    for (name, cols) in specs {
+        let schema = Schema::of(
+            &cols
+                .iter()
+                .map(|c| (*c, ValueType::Int))
+                .collect::<Vec<_>>(),
+        )
+        .expect("distinct");
+        let mut rel = URelation::new(schema);
+        for _ in 0..n {
+            let t = Tuple::new(vec![
+                Value::Int(rng.below(n) as i64),
+                Value::Int(rng.below(n) as i64),
+            ]);
+            let c = comp_ids[rng.below(comp_ids.len())];
+            rel.push(t, WsDescriptor::single(c, rng.below(2) as u16))
+                .expect("schema ok");
+        }
+        ws.insert(name, rel)
+            .expect("descriptors reference fresh components");
+    }
+    ws
+}

@@ -1,0 +1,352 @@
+//! Components: the independent factors of a world-set decomposition.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use crate::descriptor::{ComponentId, WsDescriptor};
+use crate::error::MayError;
+
+/// One independent component of a world-set decomposition: a finite
+/// probability distribution over `alternatives()` local worlds.
+///
+/// In the paper's component tables, each component is a small relation whose
+/// rows (local worlds) assign values to a set of tuple fields and carry a
+/// probability. Here the value assignments live in the u-relations (tuples
+/// annotated with descriptors referencing the component), and the component
+/// itself keeps only the probability vector — the two views are equivalent
+/// and this one keeps the algebra simple. See `ARCHITECTURE.md`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Component {
+    probs: Vec<f64>,
+}
+
+impl Component {
+    /// Build a component from positive weights; probabilities are the
+    /// normalized weights.
+    pub fn from_weights(weights: &[f64]) -> Result<Self, MayError> {
+        if weights.is_empty() {
+            return Err(MayError::InvalidComponent("no alternatives".into()));
+        }
+        if weights.len() > u16::MAX as usize {
+            return Err(MayError::InvalidComponent(format!(
+                "{} alternatives exceeds the u16 descriptor limit",
+                weights.len()
+            )));
+        }
+        let mut sum = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(MayError::InvalidComponent(format!(
+                    "weight {w} is not positive"
+                )));
+            }
+            sum += w;
+        }
+        Ok(Component {
+            probs: weights.iter().map(|w| w / sum).collect(),
+        })
+    }
+
+    /// A uniform distribution over `n` alternatives.
+    pub fn uniform(n: usize) -> Result<Self, MayError> {
+        Component::from_weights(&vec![1.0; n])
+    }
+
+    /// Number of alternatives (local worlds).
+    pub fn alternatives(&self) -> u16 {
+        self.probs.len() as u16
+    }
+
+    /// Probability of one alternative.
+    pub fn prob(&self, alternative: u16) -> f64 {
+        self.probs[alternative as usize]
+    }
+}
+
+/// The set of all components of an uncertain database. The represented world
+/// set is the product of the components' local worlds: one world per
+/// combination of alternatives.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ComponentSet {
+    comps: Vec<Component>,
+}
+
+/// One fully decomposed world: a choice of alternative for every component.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorldPick {
+    choices: Vec<u16>,
+}
+
+impl WorldPick {
+    /// The alternative chosen for a component.
+    pub fn choice(&self, c: ComponentId) -> u16 {
+        self.choices[c.0 as usize]
+    }
+}
+
+impl ComponentSet {
+    /// An empty component set (exactly one world).
+    pub fn new() -> Self {
+        ComponentSet::default()
+    }
+
+    /// Register a component and return its id.
+    pub fn add(&mut self, c: Component) -> ComponentId {
+        let id = ComponentId(self.comps.len() as u32);
+        self.comps.push(c);
+        id
+    }
+
+    /// The component with the given id.
+    pub fn get(&self, id: ComponentId) -> &Component {
+        &self.comps[id.0 as usize]
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// True when there are no components (a single certain world).
+    pub fn is_empty(&self) -> bool {
+        self.comps.is_empty()
+    }
+
+    /// Iterate over `(id, component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ComponentId, &Component)> {
+        self.comps
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ComponentId(i as u32), c))
+    }
+
+    /// Total number of represented worlds (the product of alternative
+    /// counts), or `None` if the product overflows `u128`.
+    pub fn world_count(&self) -> Option<u128> {
+        let mut n: u128 = 1;
+        for c in &self.comps {
+            n = n.checked_mul(c.alternatives() as u128)?;
+        }
+        Some(n)
+    }
+
+    /// Enumerate every world as a [`WorldPick`], in lexicographic order.
+    /// This is exponential by design — it is the naive oracle the compact
+    /// evaluators are tested against. `limit` guards against blow-up.
+    pub fn enumerate(&self, limit: u128) -> Result<Vec<WorldPick>, MayError> {
+        let count = self.world_count().ok_or_else(|| {
+            MayError::Unsupported("world count overflows u128; enumeration is impossible".into())
+        })?;
+        if count > limit {
+            return Err(MayError::TooManyWorlds { count, limit });
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        let mut choices = vec![0u16; self.comps.len()];
+        loop {
+            out.push(WorldPick {
+                choices: choices.clone(),
+            });
+            // Advance the odometer; the last component varies fastest.
+            let mut i = self.comps.len();
+            loop {
+                if i == 0 {
+                    return Ok(out);
+                }
+                i -= 1;
+                choices[i] += 1;
+                if choices[i] < self.comps[i].alternatives() {
+                    break;
+                }
+                choices[i] = 0;
+            }
+        }
+    }
+
+    /// Probability of one world (product of its independent choices).
+    pub fn prob_of_pick(&self, pick: &WorldPick) -> f64 {
+        self.comps
+            .iter()
+            .zip(&pick.choices)
+            .map(|(c, &a)| c.prob(a))
+            .product()
+    }
+
+    /// Check that a descriptor only references components of this set, with
+    /// in-range alternatives. This is the invariant every stored u-relation
+    /// must satisfy (enforced by `WorldSet::insert`); evaluation preserves
+    /// it because conjunction never invents terms.
+    pub fn validate_descriptor(&self, d: &WsDescriptor) -> Result<(), MayError> {
+        for &(c, a) in d.terms() {
+            if c.0 as usize >= self.comps.len() {
+                return Err(MayError::InvalidDescriptor(format!(
+                    "{c} does not exist (only {} components)",
+                    self.comps.len()
+                )));
+            }
+            if a >= self.get(c).alternatives() {
+                return Err(MayError::InvalidDescriptor(format!(
+                    "{c}={a} is out of range ({c} has {} alternatives)",
+                    self.get(c).alternatives()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Probability of the world set denoted by a single descriptor: the
+    /// product of the probabilities of its assignments (components are
+    /// independent).
+    pub fn prob_of_descriptor(&self, d: &WsDescriptor) -> f64 {
+        d.terms()
+            .iter()
+            .map(|&(c, a)| self.get(c).prob(a))
+            .product()
+    }
+
+    /// Exact probability of a disjunction of descriptors.
+    ///
+    /// Enumerates the assignments of the components that actually occur in
+    /// `descs` (not the whole component set), summing the probability of each
+    /// combination satisfied by at least one descriptor. Exponential in the
+    /// number of *relevant* components only; exact `conf` is #P-hard in
+    /// general, so this is the honest baseline future PRs will approximate.
+    pub fn prob_of_dnf(&self, descs: &[WsDescriptor]) -> f64 {
+        if descs.iter().any(WsDescriptor::is_tautology) {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        self.for_each_relevant_assignment(descs, |assignment, prob| {
+            if descs.iter().any(|d| assignment_satisfies(assignment, d)) {
+                total += prob;
+            }
+            ControlFlow::Continue(())
+        });
+        total
+    }
+
+    /// Whether the disjunction of `descs` covers *all* worlds — i.e. a tuple
+    /// with these descriptors is certain. Purely possibilistic: probabilities
+    /// are ignored, every combination of alternatives counts. Stops at the
+    /// first uncovered assignment, so the common "not certain" case is cheap.
+    pub fn covers_all_worlds(&self, descs: &[WsDescriptor]) -> bool {
+        if descs.iter().any(WsDescriptor::is_tautology) {
+            return true;
+        }
+        let mut all = true;
+        self.for_each_relevant_assignment(descs, |assignment, _| {
+            if descs.iter().any(|d| assignment_satisfies(assignment, d)) {
+                ControlFlow::Continue(())
+            } else {
+                all = false;
+                ControlFlow::Break(())
+            }
+        });
+        all
+    }
+
+    /// Drive `f` over every combination of alternatives of the components
+    /// mentioned in `descs`, with the combination's probability, until
+    /// exhausted or `f` breaks.
+    fn for_each_relevant_assignment(
+        &self,
+        descs: &[WsDescriptor],
+        mut f: impl FnMut(&[(ComponentId, u16)], f64) -> ControlFlow<()>,
+    ) {
+        let vars: Vec<ComponentId> = descs
+            .iter()
+            .flat_map(|d| d.terms().iter().map(|&(c, _)| c))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if vars.is_empty() {
+            let _ = f(&[], 1.0);
+            return;
+        }
+        let mut assignment: Vec<(ComponentId, u16)> = vars.iter().map(|&c| (c, 0)).collect();
+        loop {
+            let prob: f64 = assignment
+                .iter()
+                .map(|&(c, a)| self.get(c).prob(a))
+                .product();
+            if f(&assignment, prob).is_break() {
+                return;
+            }
+            let mut i = vars.len();
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                assignment[i].1 += 1;
+                if assignment[i].1 < self.get(vars[i]).alternatives() {
+                    break;
+                }
+                assignment[i].1 = 0;
+            }
+        }
+    }
+}
+
+/// Whether a (sorted) partial assignment satisfies a descriptor. Every
+/// component of `d` is guaranteed to occur in `assignment` by construction.
+fn assignment_satisfies(assignment: &[(ComponentId, u16)], d: &WsDescriptor) -> bool {
+    d.terms().iter().all(|&(c, a)| {
+        assignment
+            .binary_search_by_key(&c, |&(id, _)| id)
+            .map(|i| assignment[i].1 == a)
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let mut cs = ComponentSet::new();
+        cs.add(Component::from_weights(&[1.0, 3.0]).unwrap());
+        cs.add(Component::uniform(3).unwrap());
+        let worlds = cs.enumerate(1_000).unwrap();
+        assert_eq!(worlds.len(), 6);
+        let total: f64 = worlds.iter().map(|w| cs.prob_of_pick(w)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dnf_probability_matches_enumeration() {
+        let mut cs = ComponentSet::new();
+        let c0 = cs.add(Component::from_weights(&[1.0, 1.0]).unwrap());
+        let c1 = cs.add(Component::from_weights(&[1.0, 2.0, 1.0]).unwrap());
+        let descs = vec![
+            WsDescriptor::single(c0, 0),
+            WsDescriptor::single(c0, 1)
+                .conjoin(&WsDescriptor::single(c1, 2))
+                .unwrap(),
+        ];
+        let by_enum: f64 = cs
+            .enumerate(1_000)
+            .unwrap()
+            .iter()
+            .filter(|w| descs.iter().any(|d| d.satisfied_by(w)))
+            .map(|w| cs.prob_of_pick(w))
+            .sum();
+        assert!((cs.prob_of_dnf(&descs) - by_enum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_detects_certain_tuples() {
+        let mut cs = ComponentSet::new();
+        let c0 = cs.add(Component::uniform(2).unwrap());
+        let both = vec![WsDescriptor::single(c0, 0), WsDescriptor::single(c0, 1)];
+        assert!(cs.covers_all_worlds(&both));
+        assert!(!cs.covers_all_worlds(&both[..1]));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(Component::from_weights(&[]).is_err());
+        assert!(Component::from_weights(&[1.0, 0.0]).is_err());
+        assert!(Component::from_weights(&[1.0, f64::NAN]).is_err());
+    }
+}

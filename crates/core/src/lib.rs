@@ -1,1 +1,57 @@
-pub fn placeholder() {}
+//! # maybms-core — the representation layer
+//!
+//! This crate implements the *world-set decomposition* (WSD) representation
+//! of incomplete and probabilistic databases from Antova, Koch & Olteanu,
+//! "Query language support for incomplete information in the MayBMS system"
+//! (VLDB 2007), together with the supporting value/schema/tuple machinery.
+//!
+//! A finite set of possible worlds is not stored extensionally. Instead it is
+//! *decomposed* into a product of independent **components**
+//! ([`component::Component`]): each component is a finite probability
+//! distribution over a small set of *alternatives* (its local worlds), and a
+//! possible world of the whole database is obtained by independently picking
+//! one alternative for every component. Tuples of an uncertain relation
+//! ([`urel::URelation`]) are annotated with **world-set descriptors**
+//! ([`descriptor::WsDescriptor`]) — conjunctions of component assignments —
+//! that say in exactly which worlds the tuple appears.
+//!
+//! The crate also provides:
+//!
+//! * [`world::WorldSet`] — a complete uncertain database (component set plus
+//!   named u-relations) with exhaustive **world enumeration**, which serves as
+//!   the *naive oracle* that the algebra layer is differentially tested
+//!   against;
+//! * [`normalize`] — descriptor simplification, absorption, merging of rows
+//!   that cover all alternatives of a component, and garbage collection of
+//!   unreferenced components;
+//! * [`naive`] — plain (single-world) implementations of the positive
+//!   relational algebra used by the per-world oracle;
+//! * [`rng`] — a tiny deterministic PRNG so that property tests and benches
+//!   need no external crates (the container has no registry access, so
+//!   `proptest`/`criterion` are intentionally not used).
+//!
+//! Layering: `maybms-core` knows nothing about query plans. The algebra IR
+//! and its WSD-level executor live in `maybms-algebra`, and the paper's
+//! uncertainty constructs (`repair-key`, `possible`, `certain`, `conf`) live
+//! in `maybms-ql`.
+
+pub mod component;
+pub mod descriptor;
+pub mod error;
+pub mod naive;
+pub mod normalize;
+pub mod rel;
+pub mod rng;
+pub mod schema;
+pub mod urel;
+pub mod value;
+pub mod world;
+
+pub use component::{Component, ComponentSet, WorldPick};
+pub use descriptor::{ComponentId, WsDescriptor};
+pub use error::MayError;
+pub use rel::{Relation, Tuple};
+pub use schema::{Column, Schema};
+pub use urel::URelation;
+pub use value::{Value, ValueType, F64};
+pub use world::WorldSet;

@@ -1,0 +1,98 @@
+//! Plain single-world implementations of the positive relational algebra.
+//!
+//! These operate on fully instantiated [`Relation`]s and are deliberately
+//! simple (nested loops, no indexes): combined with
+//! [`crate::world::WorldSet::enumerate`] they form the enumerate-all-worlds
+//! oracle that the compact WSD-level executor in `maybms-algebra` is
+//! differentially tested against.
+
+use crate::error::MayError;
+use crate::rel::{Relation, Tuple};
+
+/// Selection with an arbitrary predicate.
+pub fn select(r: &Relation, pred: impl Fn(&Tuple) -> bool) -> Relation {
+    let mut out = Relation::new(r.schema().clone());
+    for t in r.tuples() {
+        if pred(t) {
+            out.insert(t.clone())
+                .expect("tuple already checked against schema");
+        }
+    }
+    out
+}
+
+/// Projection onto named columns (set semantics: duplicates collapse).
+pub fn project(r: &Relation, columns: &[String]) -> Result<Relation, MayError> {
+    let (schema, idx) = r.schema().project(columns)?;
+    let mut out = Relation::new(schema);
+    for t in r.tuples() {
+        out.insert(t.project(&idx))?;
+    }
+    Ok(out)
+}
+
+/// Natural join: match on all columns shared by name.
+pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation, MayError> {
+    let jp = l.schema().natural_join(r.schema())?;
+    let mut out = Relation::new(jp.schema.clone());
+    for lt in l.tuples() {
+        for rt in r.tuples() {
+            if jp.left_key(lt) == jp.right_key(rt) {
+                out.insert(jp.combine(lt, rt))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Set union of two union-compatible relations.
+pub fn union(l: &Relation, r: &Relation) -> Result<Relation, MayError> {
+    l.schema().union_compatible(r.schema())?;
+    let mut out = l.clone();
+    for t in r.tuples() {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Rename columns via `(old, new)` pairs.
+pub fn rename(r: &Relation, renames: &[(String, String)]) -> Result<Relation, MayError> {
+    let schema = r.schema().rename(renames)?;
+    Relation::from_rows(schema, r.tuples().cloned().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn rel(names: &[&str], rows: &[&[i64]]) -> Relation {
+        let schema = Schema::of(
+            &names
+                .iter()
+                .map(|n| (*n, ValueType::Int))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        Relation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| Tuple::new(r.iter().map(|&v| v.into()).collect()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn join_project_union_roundtrip() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[3, 4]]);
+        let s = rel(&["b", "c"], &[&[2, 5], &[4, 6], &[9, 9]]);
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j, rel(&["a", "b", "c"], &[&[1, 2, 5], &[3, 4, 6]]));
+        let p = project(&j, &["a".into()]).unwrap();
+        assert_eq!(p, rel(&["a"], &[&[1], &[3]]));
+        let u = union(&p, &rel(&["a"], &[&[1], &[7]])).unwrap();
+        assert_eq!(u, rel(&["a"], &[&[1], &[3], &[7]]));
+    }
+}

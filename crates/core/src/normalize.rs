@@ -1,0 +1,182 @@
+//! Normalization of world-set decompositions.
+//!
+//! The rewrites below preserve the *instance distribution* of the world set
+//! ([`WorldSet::instance_distribution`]): the induced probability
+//! distribution over database contents is exactly the same before and after,
+//! even though the raw number of worlds may shrink (dropping an unreferenced
+//! component merges worlds that were indistinguishable anyway).
+//!
+//! Per relation, to a fixpoint:
+//!
+//! 1. **Trivial-assignment stripping** — assignments to single-alternative
+//!    components always hold and are removed from descriptors.
+//! 2. **Duplicate elimination** — identical `(tuple, descriptor)` rows are
+//!    merged (set semantics).
+//! 3. **Absorption** — if one of a tuple's descriptors is a subset (as a set
+//!    of assignments) of another, the larger one denotes a subset of the
+//!    smaller one's worlds and is dropped.
+//! 4. **Coverage merging** — if a tuple carries `D ∧ c=a` for *every*
+//!    alternative `a` of component `c`, those rows merge into the single row
+//!    `D`: the tuple's presence no longer depends on `c`. This is how
+//!    components that an operation has made irrelevant become independent of
+//!    the relation again.
+//!
+//! Finally, components referenced by no relation are **garbage collected**
+//! and the remaining components are renumbered densely.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::component::ComponentSet;
+use crate::descriptor::{ComponentId, WsDescriptor};
+use crate::rel::Tuple;
+use crate::world::WorldSet;
+
+/// Normalize a world set in place. See the module docs for the rewrites.
+pub fn normalize(ws: &mut WorldSet) {
+    let components = ws.components.clone();
+    for rel in ws.relations.values_mut() {
+        let rows = rel.take_rows();
+        rel.set_rows(normalize_rows(rows, &components));
+    }
+    gc_components(ws);
+}
+
+/// Normalize one relation's rows against a component set.
+pub fn normalize_rows(
+    rows: Vec<(Tuple, WsDescriptor)>,
+    components: &ComponentSet,
+) -> Vec<(Tuple, WsDescriptor)> {
+    let mut rows: Vec<(Tuple, WsDescriptor)> = rows
+        .into_iter()
+        .map(|(t, d)| (t, strip_trivial(d, components)))
+        .collect();
+    loop {
+        rows.sort_unstable();
+        rows.dedup();
+        let mut changed = false;
+        let mut out: Vec<(Tuple, WsDescriptor)> = Vec::with_capacity(rows.len());
+        let mut i = 0;
+        while i < rows.len() {
+            let group_end = rows[i..]
+                .iter()
+                .position(|r| r.0 != rows[i].0)
+                .map_or(rows.len(), |k| i + k);
+            let tuple = rows[i].0.clone();
+            let mut descs: Vec<WsDescriptor> =
+                rows[i..group_end].iter().map(|r| r.1.clone()).collect();
+            changed |= simplify_disjunction(&mut descs, components);
+            out.extend(descs.into_iter().map(|d| (tuple.clone(), d)));
+            i = group_end;
+        }
+        rows = out;
+        if !changed {
+            rows.sort_unstable();
+            rows.dedup();
+            return rows;
+        }
+    }
+}
+
+/// Remove assignments to components with a single alternative.
+fn strip_trivial(d: WsDescriptor, components: &ComponentSet) -> WsDescriptor {
+    if d.terms()
+        .iter()
+        .all(|&(c, _)| components.get(c).alternatives() > 1)
+    {
+        return d;
+    }
+    let terms: Vec<_> = d
+        .terms()
+        .iter()
+        .copied()
+        .filter(|&(c, _)| components.get(c).alternatives() > 1)
+        .collect();
+    WsDescriptor::from_terms(terms).expect("filtering terms cannot introduce conflicts")
+}
+
+/// Apply absorption and coverage merging to the descriptors of one tuple.
+/// Returns true when anything changed.
+fn simplify_disjunction(descs: &mut Vec<WsDescriptor>, components: &ComponentSet) -> bool {
+    let mut changed = false;
+
+    // Absorption: drop any descriptor that another (strictly more general)
+    // descriptor subsumes.
+    let mut keep = vec![true; descs.len()];
+    for a in 0..descs.len() {
+        if !keep[a] {
+            continue;
+        }
+        for b in 0..descs.len() {
+            if a != b && keep[b] && descs[a].is_subset_of(&descs[b]) && descs[a] != descs[b] {
+                keep[b] = false;
+                changed = true;
+            }
+        }
+    }
+    if changed {
+        let mut it = keep.iter();
+        descs.retain(|_| *it.next().expect("keep mask matches descs length"));
+    }
+
+    // Coverage merging: if `base ∧ c=a` is present for every alternative `a`
+    // of some component `c`, replace those rows with `base`.
+    'restart: loop {
+        for idx in 0..descs.len() {
+            let d = descs[idx].clone();
+            for &(c, _) in d.terms() {
+                let base = d.without(c);
+                let n = components.get(c).alternatives();
+                let variant = |a: u16| {
+                    base.conjoin(&WsDescriptor::single(c, a))
+                        .expect("base has no assignment for c")
+                };
+                if (0..n).all(|a| descs.contains(&variant(a))) {
+                    descs.retain(|x| !(0..n).any(|a| *x == variant(a)));
+                    descs.push(base);
+                    changed = true;
+                    continue 'restart;
+                }
+            }
+        }
+        break;
+    }
+    changed
+}
+
+/// Drop components no relation references and renumber the rest densely.
+fn gc_components(ws: &mut WorldSet) {
+    let used: BTreeSet<ComponentId> = ws
+        .relations
+        .values()
+        .flat_map(|r| r.rows().iter())
+        .flat_map(|(_, d)| d.terms().iter().map(|&(c, _)| c))
+        .collect();
+    if used.len() == ws.components.len() {
+        return;
+    }
+    let remap_table: BTreeMap<ComponentId, ComponentId> = used
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, ComponentId(i as u32)))
+        .collect();
+    let remap = |c: ComponentId| remap_table[&c];
+    let mut new_set = ComponentSet::new();
+    for &c in &used {
+        new_set.add(ws.components.get(c).clone());
+    }
+    for rel in ws.relations.values_mut() {
+        let rows = rel
+            .take_rows()
+            .into_iter()
+            .map(|(t, d)| {
+                let terms: Vec<_> = d.terms().iter().map(|&(c, a)| (remap(c), a)).collect();
+                (
+                    t,
+                    WsDescriptor::from_terms(terms).expect("renumbering keeps consistency"),
+                )
+            })
+            .collect();
+        rel.set_rows(rows);
+    }
+    ws.components = new_set;
+}

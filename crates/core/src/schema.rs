@@ -1,0 +1,220 @@
+//! Relation schemas and the shared natural-join planning logic.
+
+use crate::error::MayError;
+use crate::rel::Tuple;
+use crate::value::{Value, ValueType};
+
+/// A named, typed column.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Column {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Column type; `Null` values are accepted in any column.
+    pub ty: ValueType,
+}
+
+impl Column {
+    /// Create a column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of uniquely named columns.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Self, MayError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(MayError::UnknownColumn(format!(
+                    "duplicate column {}",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Shorthand for building a schema from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, ValueType)]) -> Result<Self, MayError> {
+        Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column.
+    pub fn col_index(&self, name: &str) -> Result<usize, MayError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| MayError::UnknownColumn(name.to_string()))
+    }
+
+    /// Check a tuple against this schema (arity and types; `Null` matches any
+    /// column type).
+    pub fn check(&self, tuple: &Tuple) -> Result<(), MayError> {
+        if tuple.arity() != self.arity() {
+            return Err(MayError::TupleMismatch(format!(
+                "arity {} vs schema arity {}",
+                tuple.arity(),
+                self.arity()
+            )));
+        }
+        for (v, c) in tuple.values().iter().zip(&self.columns) {
+            if !matches!(v, Value::Null) && v.type_of() != c.ty {
+                return Err(MayError::TupleMismatch(format!(
+                    "column {} expects {}, got {}",
+                    c.name,
+                    c.ty,
+                    v.type_of()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a projection: returns the output schema and the source column
+    /// indices, in output order.
+    pub fn project(&self, names: &[String]) -> Result<(Schema, Vec<usize>), MayError> {
+        let mut cols = Vec::with_capacity(names.len());
+        let mut idx = Vec::with_capacity(names.len());
+        for n in names {
+            let i = self.col_index(n)?;
+            cols.push(self.columns[i].clone());
+            idx.push(i);
+        }
+        Ok((Schema::new(cols)?, idx))
+    }
+
+    /// Apply `(old, new)` column renamings, keeping order and types.
+    pub fn rename(&self, renames: &[(String, String)]) -> Result<Schema, MayError> {
+        let mut cols = self.columns.clone();
+        for (old, new) in renames {
+            let i = self.col_index(old)?;
+            cols[i].name = new.clone();
+        }
+        Schema::new(cols)
+    }
+
+    /// Check that another schema is union-compatible (same names and types in
+    /// the same order).
+    pub fn union_compatible(&self, other: &Schema) -> Result<(), MayError> {
+        if self != other {
+            return Err(MayError::SchemaMismatch(format!(
+                "{:?} vs {:?}",
+                self.names(),
+                other.names()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Plan a natural join with `right`: shared columns are matched by name,
+    /// the output keeps all left columns followed by the non-shared right
+    /// columns. Shared columns must agree on type.
+    pub fn natural_join(&self, right: &Schema) -> Result<JoinPlan, MayError> {
+        let mut shared = Vec::new();
+        for (li, lc) in self.columns.iter().enumerate() {
+            if let Ok(ri) = right.col_index(&lc.name) {
+                if right.columns[ri].ty != lc.ty {
+                    return Err(MayError::SchemaMismatch(format!(
+                        "join column {} has type {} on the left but {} on the right",
+                        lc.name, lc.ty, right.columns[ri].ty
+                    )));
+                }
+                shared.push((li, ri));
+            }
+        }
+        let right_keep: Vec<usize> = (0..right.arity())
+            .filter(|ri| !shared.iter().any(|(_, r)| r == ri))
+            .collect();
+        let mut cols = self.columns.clone();
+        cols.extend(right_keep.iter().map(|&ri| right.columns[ri].clone()));
+        Ok(JoinPlan {
+            shared,
+            right_keep,
+            schema: Schema::new(cols)?,
+        })
+    }
+}
+
+/// Precomputed structure of a natural join between two schemas.
+#[derive(Clone, Debug)]
+pub struct JoinPlan {
+    /// Pairs of `(left index, right index)` of columns shared by name.
+    pub shared: Vec<(usize, usize)>,
+    /// Right-side column indices that are not shared and appear in the output.
+    pub right_keep: Vec<usize>,
+    /// The output schema: left columns, then kept right columns.
+    pub schema: Schema,
+}
+
+impl JoinPlan {
+    /// The join key of a left tuple (values of the shared columns).
+    pub fn left_key(&self, t: &Tuple) -> Vec<Value> {
+        self.shared
+            .iter()
+            .map(|&(l, _)| t.values()[l].clone())
+            .collect()
+    }
+
+    /// The join key of a right tuple.
+    pub fn right_key(&self, t: &Tuple) -> Vec<Value> {
+        self.shared
+            .iter()
+            .map(|&(_, r)| t.values()[r].clone())
+            .collect()
+    }
+
+    /// Combine a matching pair of tuples into an output tuple.
+    pub fn combine(&self, l: &Tuple, r: &Tuple) -> Tuple {
+        let mut vs = l.values().to_vec();
+        vs.extend(self.right_keep.iter().map(|&ri| r.values()[ri].clone()));
+        Tuple::new(vs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        assert!(Schema::of(&[("a", ValueType::Int), ("a", ValueType::Int)]).is_err());
+    }
+
+    #[test]
+    fn natural_join_plan_shares_by_name() {
+        let l = Schema::of(&[("a", ValueType::Int), ("b", ValueType::Int)]).unwrap();
+        let r = Schema::of(&[("b", ValueType::Int), ("c", ValueType::Int)]).unwrap();
+        let jp = l.natural_join(&r).unwrap();
+        assert_eq!(jp.shared, vec![(1, 0)]);
+        assert_eq!(jp.schema.names(), vec!["a", "b", "c"]);
+        let t = jp.combine(
+            &Tuple::new(vec![1.into(), 2.into()]),
+            &Tuple::new(vec![2.into(), 3.into()]),
+        );
+        assert_eq!(t, Tuple::new(vec![1.into(), 2.into(), 3.into()]));
+    }
+}

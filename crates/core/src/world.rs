@@ -1,0 +1,132 @@
+//! The uncertain database: a component set plus named u-relations, with
+//! exhaustive world enumeration (the differential-testing oracle).
+
+use std::collections::BTreeMap;
+
+use crate::component::{ComponentSet, WorldPick};
+use crate::error::MayError;
+use crate::normalize;
+use crate::rel::Relation;
+use crate::urel::URelation;
+
+/// One fully instantiated database: a plain relation per name.
+pub type Db = BTreeMap<String, Relation>;
+
+/// A world-set decomposition of an uncertain database: independent
+/// [`ComponentSet`] choices plus named [`URelation`]s whose descriptors
+/// reference those components.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorldSet {
+    /// The independent components (the product decomposition of the worlds).
+    pub components: ComponentSet,
+    /// The uncertain relations, by name.
+    pub relations: BTreeMap<String, URelation>,
+}
+
+impl WorldSet {
+    /// An empty world set: no components (one world), no relations.
+    pub fn new() -> Self {
+        WorldSet::default()
+    }
+
+    /// Insert or replace a relation, validating every row's descriptor
+    /// against the current component set (unknown components or
+    /// out-of-range alternatives are rejected here rather than panicking
+    /// during later enumeration or confidence computation).
+    pub fn insert(&mut self, name: impl Into<String>, rel: URelation) -> Result<(), MayError> {
+        for (_, d) in rel.rows() {
+            self.components.validate_descriptor(d)?;
+        }
+        self.relations.insert(name.into(), rel);
+        Ok(())
+    }
+
+    /// The relation with the given name.
+    pub fn relation(&self, name: &str) -> Result<&URelation, MayError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| MayError::UnknownRelation(name.to_string()))
+    }
+
+    /// Enumerate every possible world together with its probability.
+    ///
+    /// This fully expands the decomposition and is exponential in the number
+    /// of components; it exists as the *naive oracle* that the compact
+    /// WSD-level evaluators are property-tested against, and for tiny
+    /// databases. `limit` bounds the number of worlds.
+    pub fn enumerate(&self, limit: u128) -> Result<Vec<(WorldPick, Db, f64)>, MayError> {
+        let picks = self.components.enumerate(limit)?;
+        let mut out = Vec::with_capacity(picks.len());
+        for pick in picks {
+            let db: Db = self
+                .relations
+                .iter()
+                .map(|(n, r)| (n.clone(), r.instantiate(&pick)))
+                .collect();
+            let p = self.components.prob_of_pick(&pick);
+            out.push((pick, db, p));
+        }
+        Ok(out)
+    }
+
+    /// Aggregate the enumeration into a distribution over database
+    /// *instances*: distinct worlds with identical relation contents are
+    /// merged and their probabilities summed. This is the semantics that
+    /// [`WorldSet::normalize`] preserves exactly.
+    pub fn instance_distribution(&self, limit: u128) -> Result<Vec<(Db, f64)>, MayError> {
+        let mut agg: BTreeMap<Db, f64> = BTreeMap::new();
+        for (_, db, p) in self.enumerate(limit)? {
+            *agg.entry(db).or_insert(0.0) += p;
+        }
+        Ok(agg.into_iter().collect())
+    }
+
+    /// Normalize the decomposition in place: simplify and absorb
+    /// descriptors, merge rows that together cover all alternatives of a
+    /// component, and garbage-collect components no relation references.
+    /// See [`crate::normalize`] for the exact rewrites and the invariant.
+    pub fn normalize(&mut self) {
+        normalize::normalize(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use crate::descriptor::{ComponentId, WsDescriptor};
+    use crate::error::MayError;
+    use crate::rel::Tuple;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn one_col_rel(desc: WsDescriptor) -> URelation {
+        let schema = Schema::of(&[("a", ValueType::Int)]).unwrap();
+        let mut u = URelation::new(schema);
+        u.push(Tuple::new(vec![1.into()]), desc).unwrap();
+        u
+    }
+
+    #[test]
+    fn insert_rejects_unknown_component() {
+        let mut ws = WorldSet::new();
+        let err = ws.insert("r", one_col_rel(WsDescriptor::single(ComponentId(0), 0)));
+        assert!(
+            matches!(err, Err(MayError::InvalidDescriptor(_))),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn insert_rejects_out_of_range_alternative() {
+        let mut ws = WorldSet::new();
+        let c = ws.components.add(Component::uniform(2).unwrap());
+        let err = ws.insert("r", one_col_rel(WsDescriptor::single(c, 2)));
+        assert!(
+            matches!(err, Err(MayError::InvalidDescriptor(_))),
+            "{err:?}"
+        );
+        ws.insert("ok", one_col_rel(WsDescriptor::single(c, 1)))
+            .unwrap();
+    }
+}

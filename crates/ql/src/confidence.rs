@@ -1,0 +1,54 @@
+//! `conf`: exact tuple confidence from component probabilities.
+
+use std::sync::Arc;
+
+use maybms_algebra::{EvalCtx, ExtOperator, Plan};
+use maybms_core::{Column, MayError, Schema, URelation, Value, ValueType, WsDescriptor};
+
+/// Name of the appended confidence column.
+pub const CONF_COLUMN: &str = "conf";
+
+/// The `conf R` operator: for every distinct tuple of `R`, the exact
+/// probability of the worlds containing it, appended as a `conf` column.
+/// The result is a certain relation (the confidences themselves are facts
+/// about the world set, not uncertain data).
+#[derive(Debug)]
+pub struct Conf {
+    input: Plan,
+}
+
+/// Build a `conf` plan node.
+pub fn conf(input: Plan) -> Plan {
+    Plan::Ext(Arc::new(Conf { input }))
+}
+
+impl ExtOperator for Conf {
+    fn name(&self) -> &'static str {
+        "conf"
+    }
+
+    fn inputs(&self) -> Vec<&Plan> {
+        vec![&self.input]
+    }
+
+    fn output_schema(&self, inputs: &[Schema]) -> Result<Schema, MayError> {
+        let mut cols = inputs[0].columns().to_vec();
+        cols.push(Column::new(CONF_COLUMN, ValueType::Float));
+        // Schema::new rejects an input that already has a `conf` column.
+        Schema::new(cols)
+    }
+
+    fn eval(&self, ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
+        let r = &inputs[0];
+        let schema = self.output_schema(&[r.schema().clone()])?;
+        let mut out = URelation::new(schema);
+        for (t, descs) in r.grouped() {
+            // P(t in DB) = P(d₁ ∨ … ∨ dₙ), exact over the components the
+            // descriptors mention (they are independent of all others).
+            let owned: Vec<WsDescriptor> = descs.iter().map(|d| (*d).clone()).collect();
+            let p = ctx.components.prob_of_dnf(&owned);
+            out.push(t.extended(Value::float(p)), WsDescriptor::tautology())?;
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,84 @@
+//! `possible` and `certain`: extracting answers from the world set.
+
+use std::sync::Arc;
+
+use maybms_algebra::{EvalCtx, ExtOperator, Plan};
+use maybms_core::{MayError, Schema, URelation, WsDescriptor};
+
+/// The `possible R` operator: the tuples of `R` that occur in at least one
+/// world. The result is a certain relation.
+#[derive(Debug)]
+pub struct Possible {
+    input: Plan,
+}
+
+/// Build a `possible` plan node.
+pub fn possible(input: Plan) -> Plan {
+    Plan::Ext(Arc::new(Possible { input }))
+}
+
+impl ExtOperator for Possible {
+    fn name(&self) -> &'static str {
+        "possible"
+    }
+
+    fn inputs(&self) -> Vec<&Plan> {
+        vec![&self.input]
+    }
+
+    fn output_schema(&self, inputs: &[Schema]) -> Result<Schema, MayError> {
+        Ok(inputs[0].clone())
+    }
+
+    fn eval(&self, _ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
+        let r = &inputs[0];
+        // Descriptors are consistent by construction (conjoin rejects
+        // contradictions), so every annotated tuple is possible.
+        let mut out = URelation::new(r.schema().clone());
+        for t in r.grouped().keys() {
+            out.push((*t).clone(), WsDescriptor::tautology())?;
+        }
+        Ok(out)
+    }
+}
+
+/// The `certain R` operator: the tuples of `R` that occur in *every* world.
+/// The result is a certain relation.
+#[derive(Debug)]
+pub struct Certain {
+    input: Plan,
+}
+
+/// Build a `certain` plan node.
+pub fn certain(input: Plan) -> Plan {
+    Plan::Ext(Arc::new(Certain { input }))
+}
+
+impl ExtOperator for Certain {
+    fn name(&self) -> &'static str {
+        "certain"
+    }
+
+    fn inputs(&self) -> Vec<&Plan> {
+        vec![&self.input]
+    }
+
+    fn output_schema(&self, inputs: &[Schema]) -> Result<Schema, MayError> {
+        Ok(inputs[0].clone())
+    }
+
+    fn eval(&self, ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
+        let r = &inputs[0];
+        let mut out = URelation::new(r.schema().clone());
+        for (t, descs) in r.grouped() {
+            // A tuple is certain iff the disjunction of its descriptors
+            // covers all worlds; only the components the descriptors mention
+            // need to be enumerated.
+            let owned: Vec<WsDescriptor> = descs.iter().map(|d| (*d).clone()).collect();
+            if ctx.components.covers_all_worlds(&owned) {
+                out.push(t.clone(), WsDescriptor::tautology())?;
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,29 @@
+//! # maybms-ql — the uncertainty query constructs
+//!
+//! The paper's query-language constructs for incomplete information,
+//! implemented as [`maybms_algebra::ExtOperator`] plan operators:
+//!
+//! * [`repair_key`] — *introduces* uncertainty: all maximal repairs of a key
+//!   constraint become alternative worlds, optionally weighted by a column
+//!   (`repair key A in R weight by w`). Each key group becomes one fresh
+//!   independent component.
+//! * [`possible`] — tuples occurring in *at least one* world (a certain
+//!   relation).
+//! * [`certain`] — tuples occurring in *every* world, decided exactly by
+//!   enumerating only the components a tuple's descriptors mention.
+//! * [`conf`] — exact tuple confidence: the probability of the disjunction
+//!   of the tuple's descriptors, appended as a `conf` float column. Exact
+//!   confidence computation is #P-hard in general; this implementation is
+//!   exponential only in the number of components relevant to each tuple and
+//!   is the ground truth future approximation PRs will be measured against.
+//!
+//! All four compose freely with the positive relational algebra of
+//! `maybms-algebra`: they are ordinary plan nodes.
+
+mod confidence;
+mod extract;
+mod repair;
+
+pub use confidence::{conf, Conf};
+pub use extract::{certain, possible, Certain, Possible};
+pub use repair::{repair_key, RepairKey};

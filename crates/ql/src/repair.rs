@@ -1,0 +1,118 @@
+//! `repair-key`: turn key violations into alternative worlds.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use maybms_algebra::{EvalCtx, ExtOperator, Plan};
+use maybms_core::{Component, MayError, Schema, Tuple, URelation, Value, WsDescriptor};
+
+/// The `repair key A₁..Aₖ in R [weight by W]` operator.
+///
+/// The input must be a *certain* relation. Its tuples are grouped by the key
+/// columns; every way of picking exactly one tuple per group is one maximal
+/// repair of the key constraint, and the operator makes each repair a
+/// possible world. Each group with more than one tuple becomes a fresh
+/// independent component whose alternatives are the group members, with
+/// probabilities proportional to the weight column (uniform when absent).
+///
+/// Grouping and alternative numbering are deterministic (tuples are sorted),
+/// so equal inputs always produce identical decompositions.
+#[derive(Debug)]
+pub struct RepairKey {
+    input: Plan,
+    key: Vec<String>,
+    weight: Option<String>,
+}
+
+/// Build a `repair-key` plan node. `weight`, when given, names a numeric
+/// column whose values weight the alternatives within each key group.
+pub fn repair_key(input: Plan, key: &[&str], weight: Option<&str>) -> Plan {
+    Plan::Ext(Arc::new(RepairKey {
+        input,
+        key: key.iter().map(|k| k.to_string()).collect(),
+        weight: weight.map(|w| w.to_string()),
+    }))
+}
+
+impl ExtOperator for RepairKey {
+    fn name(&self) -> &'static str {
+        "repair-key"
+    }
+
+    fn inputs(&self) -> Vec<&Plan> {
+        vec![&self.input]
+    }
+
+    fn output_schema(&self, inputs: &[Schema]) -> Result<Schema, MayError> {
+        let schema = &inputs[0];
+        for k in &self.key {
+            schema.col_index(k)?;
+        }
+        if let Some(w) = &self.weight {
+            schema.col_index(w)?;
+        }
+        Ok(schema.clone())
+    }
+
+    fn eval(&self, ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
+        let r = &inputs[0];
+        if !r.is_certain() {
+            return Err(MayError::NotCertain(
+                "repair-key expects a certain relation; apply possible/certain first".into(),
+            ));
+        }
+        let key_idx: Vec<usize> = self
+            .key
+            .iter()
+            .map(|k| r.schema().col_index(k))
+            .collect::<Result<_, _>>()?;
+        let weight_idx = self
+            .weight
+            .as_ref()
+            .map(|w| r.schema().col_index(w))
+            .transpose()?;
+
+        // Deterministic grouping: distinct tuples in canonical order.
+        let mut tuples: Vec<&Tuple> = r.rows().iter().map(|(t, _)| t).collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        let mut groups: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+        for t in tuples {
+            groups
+                .entry(t.project(&key_idx).values().to_vec())
+                .or_default()
+                .push(t);
+        }
+
+        let mut out = URelation::new(r.schema().clone());
+        for group in groups.values() {
+            if group.len() == 1 {
+                // A unique key value needs no repair: the tuple is certain.
+                out.push(group[0].clone(), WsDescriptor::tautology())?;
+                continue;
+            }
+            let weights: Vec<f64> = match weight_idx {
+                None => vec![1.0; group.len()],
+                Some(wi) => group
+                    .iter()
+                    .map(|t| {
+                        t.get(wi).as_f64().ok_or_else(|| {
+                            MayError::InvalidWeight(format!(
+                                "non-numeric weight {} in tuple {t}",
+                                t.get(wi)
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            // Propagate as-is: InvalidComponent already distinguishes bad
+            // weights from e.g. a key group exceeding the alternative limit.
+            let component = Component::from_weights(&weights)?;
+            let cid = ctx.components.add(component);
+            for (alt, t) in group.iter().enumerate() {
+                out.push((*t).clone(), WsDescriptor::single(cid, alt as u16))?;
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,241 @@
+//! # maybms-testkit — property-testing support
+//!
+//! Deterministic random generators for world sets and algebra plans, plus
+//! oracle helpers that compute `possible` / `certain` / `conf` semantics by
+//! brute-force world enumeration. The cross-layer differential tests live in
+//! this crate's `tests/` directory so that no layer needs a dev-dependency
+//! cycle.
+//!
+//! The generators use `maybms_core::rng` (a seeded SplitMix64) instead of
+//! `proptest`, which is unavailable offline; each test iterates over many
+//! derived seeds and reports the failing seed for exact replay.
+
+use std::collections::BTreeMap;
+
+use maybms_algebra::{col, lit, naive, CmpOp, Plan, Predicate};
+use maybms_core::rng::Rng;
+use maybms_core::{
+    Component, MayError, Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet,
+    WsDescriptor,
+};
+
+/// Upper bound on enumerated worlds in tests; generated inputs stay far
+/// below it.
+pub const WORLD_LIMIT: u128 = 1 << 20;
+
+/// Tuning knobs for [`gen_world_set`].
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Maximum number of components (each gets 2–3 alternatives).
+    pub max_components: usize,
+    /// Number of base relations (named `r0`, `r1`, …).
+    pub relations: usize,
+    /// Maximum rows per relation.
+    pub max_rows: usize,
+    /// Maximum arity per relation.
+    pub max_arity: usize,
+    /// Values are drawn from `0..domain`.
+    pub domain: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_components: 4,
+            relations: 3,
+            max_rows: 6,
+            max_arity: 3,
+            domain: 4,
+        }
+    }
+}
+
+/// Column-name pool shared across generated relations so natural joins have
+/// columns to match on.
+const COL_POOL: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Generate a small random world set: a few weighted components and a few
+/// integer relations whose rows carry random (consistent) descriptors.
+pub fn gen_world_set(rng: &mut Rng, cfg: &GenConfig) -> WorldSet {
+    let mut ws = WorldSet::new();
+    let n_comps = rng.below(cfg.max_components + 1);
+    for _ in 0..n_comps {
+        let alts = rng.range(2, 3);
+        let weights: Vec<f64> = (0..alts).map(|_| rng.unit_f64()).collect();
+        ws.components
+            .add(Component::from_weights(&weights).expect("weights are positive"));
+    }
+    for ri in 0..cfg.relations {
+        let arity = rng.range(1, cfg.max_arity);
+        let start = rng.below(COL_POOL.len() - arity + 1);
+        let schema = Schema::of(
+            &COL_POOL[start..start + arity]
+                .iter()
+                .map(|n| (*n, ValueType::Int))
+                .collect::<Vec<_>>(),
+        )
+        .expect("pool names are distinct");
+        let mut rel = URelation::new(schema);
+        for _ in 0..rng.below(cfg.max_rows + 1) {
+            let tuple = Tuple::new(
+                (0..arity)
+                    .map(|_| Value::Int(rng.below(cfg.domain as usize) as i64))
+                    .collect(),
+            );
+            let desc = gen_descriptor(rng, &ws);
+            rel.push(tuple, desc)
+                .expect("generated tuple matches schema");
+        }
+        ws.insert(format!("r{ri}"), rel)
+            .expect("generated descriptors are valid");
+    }
+    ws
+}
+
+/// A random consistent descriptor over the world set's components (possibly
+/// the tautology).
+pub fn gen_descriptor(rng: &mut Rng, ws: &WorldSet) -> WsDescriptor {
+    let n = ws.components.len();
+    if n == 0 {
+        return WsDescriptor::tautology();
+    }
+    let mut terms = Vec::new();
+    for (id, comp) in ws.components.iter() {
+        if rng.chance(0.4) {
+            terms.push((id, rng.below(comp.alternatives() as usize) as u16));
+        }
+        if terms.len() == 2 {
+            break;
+        }
+    }
+    WsDescriptor::from_terms(terms).expect("distinct components cannot conflict")
+}
+
+/// Generate a random positive-relational-algebra plan that is guaranteed to
+/// be well-typed against `ws` (schemas are tracked during generation).
+pub fn gen_plan(rng: &mut Rng, ws: &WorldSet, depth: usize) -> Plan {
+    assert!(
+        !ws.relations.is_empty(),
+        "gen_plan needs at least one base relation"
+    );
+    gen_plan_inner(rng, ws, depth)
+}
+
+fn gen_plan_inner(rng: &mut Rng, ws: &WorldSet, depth: usize) -> Plan {
+    let names: Vec<String> = ws.relations.keys().cloned().collect();
+    if depth == 0 {
+        return Plan::scan(rng.pick(&names).clone());
+    }
+    match rng.below(6) {
+        0 => Plan::scan(rng.pick(&names).clone()),
+        1 => {
+            let input = gen_plan_inner(rng, ws, depth - 1);
+            let schema = plan_schema(&input, ws);
+            let names = schema.names();
+            let column = rng.pick(&names).to_string();
+            let op = *rng.pick(&[
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ]);
+            let rhs = if rng.chance(0.5) {
+                lit(rng.below(4) as i64)
+            } else {
+                col(rng.pick(&names).to_string())
+            };
+            input.select(Predicate::cmp(op, col(column), rhs))
+        }
+        2 => {
+            let input = gen_plan_inner(rng, ws, depth - 1);
+            let schema = plan_schema(&input, ws);
+            let names = schema.names();
+            let keep: Vec<&str> = names.iter().filter(|_| rng.chance(0.6)).copied().collect();
+            let keep = if keep.is_empty() {
+                vec![names[0]]
+            } else {
+                keep
+            };
+            input.project(&keep)
+        }
+        3 => gen_plan_inner(rng, ws, depth - 1).join(gen_plan_inner(rng, ws, depth - 1)),
+        4 => {
+            // Union requires identical schemas; derive both sides from one
+            // subplan so compatibility is guaranteed.
+            let input = gen_plan_inner(rng, ws, depth - 1);
+            let schema = plan_schema(&input, ws);
+            let names = schema.names();
+            let column = rng.pick(&names).to_string();
+            let filtered = input.clone().select(Predicate::cmp(
+                CmpOp::Ne,
+                col(column),
+                lit(rng.below(4) as i64),
+            ));
+            input.union(filtered)
+        }
+        _ => {
+            let input = gen_plan_inner(rng, ws, depth - 1);
+            let schema = plan_schema(&input, ws);
+            let names = schema.names();
+            // Rename to a name outside the pool; skip if a nested rename
+            // already introduced it (renaming would duplicate the column).
+            if names.contains(&"z") {
+                return input;
+            }
+            let old = rng.pick(&names).to_string();
+            input.rename(&[(old.as_str(), "z")])
+        }
+    }
+}
+
+/// Schema of a generated plan (generated plans are always well-typed).
+fn plan_schema(plan: &Plan, ws: &WorldSet) -> Schema {
+    maybms_algebra::infer_schema(plan, &ws.relations).expect("generated plans are well-typed")
+}
+
+/// Oracle: evaluate `plan` naively in every world, returning each world's
+/// result with its probability.
+pub fn per_world_results(ws: &WorldSet, plan: &Plan) -> Result<Vec<(Relation, f64)>, MayError> {
+    let mut out = Vec::new();
+    for (_, db, p) in ws.enumerate(WORLD_LIMIT)? {
+        out.push((naive::eval(plan, &db)?, p));
+    }
+    Ok(out)
+}
+
+/// Oracle for `conf`: per-tuple probability mass aggregated over all worlds.
+pub fn conf_oracle(worlds: &[(Relation, f64)]) -> BTreeMap<Tuple, f64> {
+    let mut m = BTreeMap::new();
+    for (rel, p) in worlds {
+        for t in rel.tuples() {
+            *m.entry(t.clone()).or_insert(0.0) += p;
+        }
+    }
+    m
+}
+
+/// Oracle for `possible`: union of all worlds' results.
+pub fn possible_oracle(worlds: &[(Relation, f64)], schema: Schema) -> Relation {
+    let mut out = Relation::new(schema);
+    for (rel, _) in worlds {
+        for t in rel.tuples() {
+            out.insert(t.clone()).expect("same schema across worlds");
+        }
+    }
+    out
+}
+
+/// Oracle for `certain`: intersection of all worlds' results.
+pub fn certain_oracle(worlds: &[(Relation, f64)], schema: Schema) -> Relation {
+    let mut out = Relation::new(schema);
+    if let Some((first, _)) = worlds.first() {
+        for t in first.tuples() {
+            if worlds.iter().all(|(rel, _)| rel.contains(t)) {
+                out.insert(t.clone()).expect("same schema across worlds");
+            }
+        }
+    }
+    out
+}

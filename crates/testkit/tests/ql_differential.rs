@@ -1,0 +1,322 @@
+//! Differential tests for the uncertainty constructs: `repair-key`,
+//! `possible`, `certain`, and `conf` are compared against brute-force
+//! aggregation over the enumerated worlds.
+
+use std::collections::BTreeMap;
+
+use maybms_algebra::{run, Plan};
+use maybms_core::rng::Rng;
+use maybms_core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
+use maybms_ql::{certain, conf, possible, repair_key};
+use maybms_testkit::{
+    certain_oracle, conf_oracle, gen_plan, gen_world_set, per_world_results, possible_oracle,
+    GenConfig, WORLD_LIMIT,
+};
+
+const CASES: u64 = 150;
+const EPS: f64 = 1e-9;
+
+/// possible/certain/conf over a random inner RA plan must agree with
+/// union/intersection/probability-mass aggregation over the worlds.
+#[test]
+fn extraction_operators_match_world_aggregation() {
+    let cfg = GenConfig::default();
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x905_51B1E ^ case);
+        let ws = gen_world_set(&mut rng, &cfg);
+        let inner = gen_plan(&mut rng, &ws, 2);
+        let worlds = per_world_results(&ws, &inner).expect("oracle evaluates");
+        let schema = worlds
+            .first()
+            .expect("at least one world")
+            .0
+            .schema()
+            .clone();
+
+        let mut ws_eval = ws.clone();
+        let got_possible = run(&mut ws_eval, &possible(inner.clone())).expect("possible runs");
+        assert!(got_possible.is_certain());
+        assert_eq!(
+            as_relation(&got_possible),
+            possible_oracle(&worlds, schema.clone()),
+            "case {case}: possible disagrees\nplan: {inner:?}"
+        );
+
+        let mut ws_eval = ws.clone();
+        let got_certain = run(&mut ws_eval, &certain(inner.clone())).expect("certain runs");
+        assert!(got_certain.is_certain());
+        assert_eq!(
+            as_relation(&got_certain),
+            certain_oracle(&worlds, schema),
+            "case {case}: certain disagrees\nplan: {inner:?}"
+        );
+
+        let mut ws_eval = ws.clone();
+        let got_conf = run(&mut ws_eval, &conf(inner.clone())).expect("conf runs");
+        let expected = conf_oracle(&worlds);
+        let got = conf_as_map(&got_conf);
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            expected.keys().collect::<Vec<_>>(),
+            "case {case}: conf support disagrees\nplan: {inner:?}"
+        );
+        for (t, p) in &expected {
+            assert!(
+                (got[t] - p).abs() < EPS,
+                "case {case}: conf({t}) = {} but oracle says {p}\nplan: {inner:?}",
+                got[t]
+            );
+        }
+    }
+}
+
+/// repair-key on a random certain relation must induce exactly the
+/// distribution over maximal key repairs.
+#[test]
+fn repair_key_induces_the_repair_distribution() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4E9A_114B ^ case);
+        let (ws, key_cols, weighted) = gen_certain_db(&mut rng);
+        let key_refs: Vec<&str> = key_cols.iter().map(String::as_str).collect();
+        let plan = repair_key(
+            Plan::scan("r"),
+            &key_refs,
+            if weighted { Some("w") } else { None },
+        );
+
+        let mut ws_eval = ws.clone();
+        let repaired = run(&mut ws_eval, &plan).expect("repair-key runs");
+
+        // Distribution over repaired instances, from the WSD result.
+        let mut got: BTreeMap<Relation, f64> = BTreeMap::new();
+        for pick in ws_eval.components.enumerate(WORLD_LIMIT).expect("small") {
+            let p = ws_eval.components.prob_of_pick(&pick);
+            *got.entry(repaired.instantiate(&pick)).or_insert(0.0) += p;
+        }
+
+        let expected = repair_oracle(&ws.relations["r"], &key_cols, weighted);
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            expected.keys().collect::<Vec<_>>(),
+            "case {case}: repair support disagrees"
+        );
+        for (db, p) in &expected {
+            assert!(
+                (got[db] - p).abs() < EPS,
+                "case {case}: repair prob {} vs oracle {p} for\n{db}",
+                got[db]
+            );
+        }
+    }
+}
+
+/// Within one repaired key group, the repair alternatives are exclusive and
+/// exhaustive, so their confidences must sum to exactly 1.
+#[test]
+fn conf_sums_to_one_per_repaired_key_group() {
+    let schema = Schema::of(&[
+        ("k", ValueType::Int),
+        ("v", ValueType::Int),
+        ("w", ValueType::Int),
+    ])
+    .expect("distinct columns");
+    let rows = vec![
+        Tuple::new(vec![1.into(), 10.into(), 1.into()]),
+        Tuple::new(vec![1.into(), 11.into(), 2.into()]),
+        Tuple::new(vec![1.into(), 12.into(), 5.into()]),
+        Tuple::new(vec![2.into(), 20.into(), 3.into()]),
+        Tuple::new(vec![2.into(), 21.into(), 1.into()]),
+        Tuple::new(vec![3.into(), 30.into(), 7.into()]),
+    ];
+    let rel = Relation::from_rows(schema, rows).expect("rows match schema");
+    let mut ws = WorldSet::new();
+    ws.insert("r", URelation::from_certain(&rel))
+        .expect("certain relation is valid");
+
+    let plan = conf(repair_key(Plan::scan("r"), &["k"], Some("w")));
+    let result = run(&mut ws, &plan).expect("conf over repair-key runs");
+
+    let mut per_group: BTreeMap<Value, f64> = BTreeMap::new();
+    for (t, _) in result.rows() {
+        let p = t.get(3).as_f64().expect("conf column is a float");
+        *per_group.entry(t.get(0).clone()).or_insert(0.0) += p;
+    }
+    assert_eq!(per_group.len(), 3);
+    for (k, total) in per_group {
+        assert!(
+            (total - 1.0).abs() < EPS,
+            "group {k}: confidences sum to {total}, not 1"
+        );
+    }
+    // Weighted alternatives: conf(k=1, v=10) must be 1/8.
+    let t10 = result
+        .rows()
+        .iter()
+        .find(|(t, _)| t.get(1) == &Value::Int(10))
+        .expect("tuple present");
+    assert!((t10.0.get(3).as_f64().expect("float") - 1.0 / 8.0).abs() < EPS);
+}
+
+/// A cloned (`Arc`-shared) repair-key subtree used twice in one plan must
+/// evaluate once: both occurrences refer to the same components, so a
+/// natural self-join is the identity and confidences are unchanged. Without
+/// memoization each occurrence would mint fresh components and the join
+/// would wrongly multiply probabilities.
+#[test]
+fn shared_repair_subtree_evaluates_once() {
+    let schema =
+        Schema::of(&[("k", ValueType::Int), ("v", ValueType::Int)]).expect("distinct columns");
+    let rows = vec![
+        Tuple::new(vec![1.into(), 10.into()]),
+        Tuple::new(vec![1.into(), 11.into()]),
+    ];
+    let rel = Relation::from_rows(schema, rows).expect("rows match schema");
+    let mut ws = WorldSet::new();
+    ws.insert("r", URelation::from_certain(&rel))
+        .expect("certain relation is valid");
+
+    let repaired = repair_key(Plan::scan("r"), &["k"], None);
+    let self_join = repaired.clone().join(repaired.clone());
+    let result = run(&mut ws, &conf(self_join)).expect("conf over self-join runs");
+
+    // One key group => exactly one component minted, despite two occurrences.
+    assert_eq!(ws.components.len(), 1);
+    for (t, p) in conf_as_map(&result) {
+        assert!(
+            (p - 0.5).abs() < EPS,
+            "conf({t}) = {p}, expected 0.5 (not 0.25)"
+        );
+    }
+}
+
+/// `repair-key` refuses uncertain inputs.
+#[test]
+fn repair_key_rejects_uncertain_input() {
+    let mut ws = WorldSet::new();
+    let c = ws
+        .components
+        .add(maybms_core::Component::uniform(2).expect("2 alternatives"));
+    let schema = Schema::of(&[("a", ValueType::Int)]).expect("distinct columns");
+    let mut u = URelation::new(schema);
+    u.push(
+        Tuple::new(vec![1.into()]),
+        maybms_core::WsDescriptor::single(c, 0),
+    )
+    .expect("tuple matches schema");
+    ws.insert("r0", u).expect("descriptor is valid");
+
+    let res = run(&mut ws, &repair_key(Plan::scan("r0"), &["a"], None));
+    assert!(
+        matches!(res, Err(maybms_core::MayError::NotCertain(_))),
+        "{res:?}"
+    );
+}
+
+// ---- helpers ----
+
+fn as_relation(u: &URelation) -> Relation {
+    let mut r = Relation::new(u.schema().clone());
+    for (t, _) in u.rows() {
+        r.insert(t.clone()).expect("schema-checked");
+    }
+    r
+}
+
+fn conf_as_map(u: &URelation) -> BTreeMap<Tuple, f64> {
+    let conf_idx = u.schema().arity() - 1;
+    u.rows()
+        .iter()
+        .map(|(t, _)| {
+            let data: Vec<Value> = t.values()[..conf_idx].to_vec();
+            (
+                Tuple::new(data),
+                t.get(conf_idx).as_f64().expect("conf column is a float"),
+            )
+        })
+        .collect()
+}
+
+/// A random certain relation r(k, v, w) with small key groups, plus whether
+/// to exercise the weighted variant.
+fn gen_certain_db(rng: &mut Rng) -> (WorldSet, Vec<String>, bool) {
+    let schema = Schema::of(&[
+        ("k", ValueType::Int),
+        ("v", ValueType::Int),
+        ("w", ValueType::Int),
+    ])
+    .expect("distinct columns");
+    let mut rel = Relation::new(schema);
+    for _ in 0..rng.range(1, 7) {
+        rel.insert(Tuple::new(vec![
+            Value::Int(rng.below(3) as i64),
+            Value::Int(rng.below(4) as i64),
+            Value::Int(rng.range(1, 5) as i64),
+        ]))
+        .expect("rows match schema");
+    }
+    let mut ws = WorldSet::new();
+    ws.insert("r", URelation::from_certain(&rel))
+        .expect("certain relation is valid");
+    (ws, vec!["k".to_string()], rng.chance(0.5))
+}
+
+/// Brute-force distribution over maximal key repairs of a certain relation.
+fn repair_oracle(
+    input: &URelation,
+    key_cols: &[String],
+    weighted: bool,
+) -> BTreeMap<Relation, f64> {
+    let schema = input.schema().clone();
+    let key_idx: Vec<usize> = key_cols
+        .iter()
+        .map(|k| schema.col_index(k).expect("key column exists"))
+        .collect();
+    let w_idx = schema.col_index("w").expect("weight column exists");
+
+    let mut tuples: Vec<&Tuple> = input.rows().iter().map(|(t, _)| t).collect();
+    tuples.sort_unstable();
+    tuples.dedup();
+    let mut groups: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
+    for t in tuples {
+        groups
+            .entry(t.project(&key_idx).values().to_vec())
+            .or_default()
+            .push(t);
+    }
+
+    // Cross product of one choice per group.
+    let groups: Vec<&Vec<&Tuple>> = groups.values().collect();
+    let mut out: BTreeMap<Relation, f64> = BTreeMap::new();
+    let mut choice = vec![0usize; groups.len()];
+    loop {
+        let mut rel = Relation::new(schema.clone());
+        let mut prob = 1.0;
+        for (gi, g) in groups.iter().enumerate() {
+            let t = g[choice[gi]];
+            rel.insert(t.clone()).expect("schema-checked");
+            let weight = |t: &Tuple| {
+                if weighted {
+                    t.get(w_idx).as_f64().expect("int weight")
+                } else {
+                    1.0
+                }
+            };
+            let total: f64 = g.iter().map(|t| weight(t)).sum();
+            prob *= weight(t) / total;
+        }
+        *out.entry(rel).or_insert(0.0) += prob;
+
+        let mut i = groups.len();
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            choice[i] += 1;
+            if choice[i] < groups[i].len() {
+                break;
+            }
+            choice[i] = 0;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # maybms — umbrella crate
+//!
+//! Re-exports the three layers of the MayBMS reproduction (Antova, Koch &
+//! Olteanu, VLDB 2007) and hosts the runnable examples:
+//!
+//! * [`core`] (`maybms-core`) — world-set decompositions: values, schemas,
+//!   tuples, components, world-set descriptors, u-relations, world
+//!   enumeration, and normalization;
+//! * [`algebra`] (`maybms-algebra`) — the logical plan IR and the executor
+//!   for the positive relational algebra, evaluated directly on the compact
+//!   WSD representation;
+//! * [`ql`] (`maybms-ql`) — the paper's uncertainty constructs as plan
+//!   operators: `repair-key`, `possible`, `certain`, and exact `conf`.
+//!
+//! Run the paper's census running example with
+//! `cargo run --example census`. See `ARCHITECTURE.md` for the data model
+//! and a worked example.
+
+pub use maybms_algebra as algebra;
+pub use maybms_core as core;
+pub use maybms_ql as ql;
