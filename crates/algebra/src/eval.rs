@@ -1,10 +1,51 @@
 //! The WSD-level executor: evaluates plans on u-relations without expanding
 //! worlds.
+//!
+//! # The interned, zero-copy execution core
+//!
+//! Operators do not shuttle [`URelation`]s (which would deep-clone every
+//! tuple and every descriptor term vector at every step). Instead they
+//! evaluate on an internal [`IRel`]: rows are `(Cow<Tuple>, DescId)` pairs
+//! whose tuples *borrow* from the base relations until an operator actually
+//! constructs a new tuple, and whose descriptors are handles into a
+//! [`DescriptorPool`] shared across the whole run. Concretely:
+//!
+//! * **Scan** borrows the base relation's schema and tuples (`Cow::Borrowed`)
+//!   and interns its descriptors once per run (memoized per relation name) —
+//!   no deep clone of the relation.
+//! * **Select** and **Rename** are in-place: `Select` filters the row vector
+//!   it received (the predicate is bound to the schema once, not per row) and
+//!   `Rename` swaps the schema while moving the rows through untouched.
+//! * **NaturalJoin** hashes each build-side row's key values once, in place,
+//!   into a flat [`ChainedIndex`] (no per-bucket vectors, no materialized key
+//!   tuples), probes by hashing the left key in place and verifying candidate
+//!   pairs on the shared columns, and conjoins descriptors through the pool —
+//!   a merge of two interned term lists, with no allocation for the dominant
+//!   ≤ 2-term results.
+//! * **Union** reuses the left input's row allocation and reserves for the
+//!   right side's rows before extending.
+//! * **Dedup** (after project/join/union) is a hash-and-verify pass over a
+//!   [`ChainedIndex`] keyed on `(tuple values, descriptor terms)` — duplicate
+//!   rows collapse exactly as they would on owned descriptors, without a
+//!   comparison sort or re-allocated term vectors.
+//!
+//! Schemas are validated once per operator when the output schema is derived;
+//! rows constructed from schema-checked inputs are schema-correct by
+//! construction, so the per-row `Schema::check` of the old executor is gone
+//! from every hot loop. Extension operators (`repair-key`, `conf`, …) still
+//! exchange plain [`URelation`]s at their boundary: their inputs are
+//! materialized from the interned form and their results are moved (not
+//! cloned) back into it.
 
-use std::collections::{BTreeMap, HashMap};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::sync::Arc;
 
-use maybms_core::{ComponentSet, MayError, Schema, URelation, Value, WorldSet};
+use maybms_core::{
+    ComponentSet, DescId, DescriptorPool, FxBuildHasher, FxHashMap, MayError, Schema, Tuple,
+    URelation, WorldSet,
+};
 
 use crate::plan::Plan;
 
@@ -20,11 +61,17 @@ pub struct EvalCtx<'a> {
     /// A shared (cloned) `repair-key` subtree must evaluate *once* per run:
     /// re-running it would mint fresh components for each occurrence and
     /// silently decorrelate what the plan author shares deliberately.
-    ext_cache: HashMap<usize, URelation>,
+    ext_cache: FxHashMap<usize, URelation>,
+    /// The run's descriptor interner (see the module docs).
+    pool: DescriptorPool,
+    /// Interned descriptor columns of already-scanned base relations, so a
+    /// relation scanned several times is interned once.
+    scan_cache: FxHashMap<String, Vec<DescId>>,
 }
 
 impl<'a> EvalCtx<'a> {
-    /// Build a fresh context (with an empty extension-operator memo).
+    /// Build a fresh context (with an empty extension-operator memo and a
+    /// fresh descriptor pool).
     pub fn new(
         relations: &'a BTreeMap<String, URelation>,
         components: &'a mut ComponentSet,
@@ -32,7 +79,146 @@ impl<'a> EvalCtx<'a> {
         EvalCtx {
             relations,
             components,
-            ext_cache: HashMap::new(),
+            ext_cache: FxHashMap::default(),
+            pool: DescriptorPool::new(),
+            scan_cache: FxHashMap::default(),
+        }
+    }
+}
+
+/// A flat chained-bucket hash index over row indices: `heads[bucket]` points
+/// at the most recent row in the bucket and `next[row]` chains to the
+/// previous one (both offset by one, `0` meaning "end"). Unlike a
+/// `HashMap<Key, Vec<u32>>` it allocates exactly two `u32` arrays for any
+/// number of rows — no per-bucket vectors, no key materialization — which is
+/// what keeps the join build and hash-dedup allocation-free per row.
+struct ChainedIndex {
+    mask: u64,
+    heads: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl ChainedIndex {
+    /// An index able to hold `rows` entries with a load factor ≤ ½.
+    fn with_capacity(rows: usize) -> ChainedIndex {
+        let buckets = (rows * 2).next_power_of_two().max(1);
+        ChainedIndex {
+            mask: (buckets - 1) as u64,
+            heads: vec![0; buckets],
+            next: vec![0; rows],
+        }
+    }
+
+    /// Insert row `i` under `hash`. `i` must be below the build capacity and
+    /// inserted at most once.
+    #[inline]
+    fn insert(&mut self, hash: u64, i: usize) {
+        let b = (hash & self.mask) as usize;
+        self.next[i] = self.heads[b];
+        self.heads[b] = i as u32 + 1;
+    }
+
+    /// Iterate the row indices stored under `hash` (most recent first).
+    #[inline]
+    fn probe(&self, hash: u64) -> ChainIter<'_> {
+        ChainIter {
+            next: &self.next,
+            cur: self.heads[(hash & self.mask) as usize],
+        }
+    }
+}
+
+/// Iterator over one bucket chain of a [`ChainedIndex`].
+struct ChainIter<'a> {
+    next: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == 0 {
+            return None;
+        }
+        let i = (self.cur - 1) as usize;
+        self.cur = self.next[i];
+        Some(i)
+    }
+}
+
+/// Hash one row: the tuple's values plus the descriptor's *terms* (handles
+/// from `conjoin` are not canonical, so the hash must be over descriptor
+/// content, not the handle).
+#[inline]
+fn row_hash(t: &Tuple, d: DescId, pool: &DescriptorPool) -> u64 {
+    let mut h = FxBuildHasher::default().build_hasher();
+    for v in t.values() {
+        v.hash(&mut h);
+    }
+    pool.terms(d).hash(&mut h);
+    h.finish()
+}
+
+/// An interned relation: the executor's internal row format. Tuples borrow
+/// from the base relations until an operator constructs new ones; descriptors
+/// are handles into the run's [`DescriptorPool`].
+struct IRel<'a> {
+    schema: Cow<'a, Schema>,
+    rows: Vec<(Cow<'a, Tuple>, DescId)>,
+}
+
+impl<'a> IRel<'a> {
+    /// Drop duplicate `(tuple, descriptor)` rows, keeping first occurrences
+    /// in order. A hash-and-verify pass over a [`ChainedIndex`] instead of a
+    /// comparison sort of owned descriptor vectors: candidates that collide
+    /// on the row hash are verified by tuple equality plus
+    /// [`DescriptorPool::same_descriptor`] (an integer compare for canonical
+    /// handles, a term-slice compare for conjunction-minted ones).
+    fn dedup(&mut self, pool: &DescriptorPool) {
+        let n = self.rows.len();
+        if n < 2 {
+            return;
+        }
+        let mut index = ChainedIndex::with_capacity(n);
+        let mut kept: Vec<(Cow<'a, Tuple>, DescId)> = Vec::with_capacity(n);
+        for (t, d) in self.rows.drain(..) {
+            let h = row_hash(&t, d, pool);
+            let dup = index
+                .probe(h)
+                .any(|j| pool.same_descriptor(kept[j].1, d) && *kept[j].0 == *t);
+            if !dup {
+                index.insert(h, kept.len());
+                kept.push((t, d));
+            }
+        }
+        self.rows = kept;
+    }
+
+    /// Materialize as a plain [`URelation`], resolving handles back to owned
+    /// descriptors. Borrowed tuples are cloned here — once, at the boundary —
+    /// and owned tuples are moved.
+    fn into_urelation(self, pool: &DescriptorPool) -> URelation {
+        let rows = self
+            .rows
+            .into_iter()
+            .map(|(t, d)| (t.into_owned(), pool.to_descriptor(d)))
+            .collect();
+        URelation::from_rows_unchecked(self.schema.into_owned(), rows)
+    }
+
+    /// Take ownership of an extension operator's result, interning its
+    /// descriptors and moving (not cloning) its tuples.
+    fn from_urelation(u: URelation, pool: &mut DescriptorPool) -> IRel<'a> {
+        let (schema, rows) = u.into_parts();
+        let rows = rows
+            .into_iter()
+            .map(|(t, d)| (Cow::Owned(t), pool.intern(&d)))
+            .collect();
+        IRel {
+            schema: Cow::Owned(schema),
+            rows,
         }
     }
 }
@@ -55,86 +241,127 @@ pub fn run(ws: &mut WorldSet, plan: &Plan) -> Result<URelation, MayError> {
     eval(plan, &mut ctx)
 }
 
-/// Evaluate a plan in a context. See the crate docs for why each operator is
-/// sound on the compact representation.
+/// Evaluate a plan in a context, materializing the interned result as a
+/// plain [`URelation`] at the boundary. See the module docs for why each
+/// operator is sound on the compact representation.
 pub fn eval(plan: &Plan, ctx: &mut EvalCtx<'_>) -> Result<URelation, MayError> {
+    let rel = eval_interned(plan, ctx)?;
+    Ok(rel.into_urelation(&ctx.pool))
+}
+
+/// The interned evaluator proper. The returned rows may borrow tuples from
+/// `ctx.relations` (lifetime `'a`), never from `ctx` itself — `ctx` stays
+/// freely borrowable for the next operator.
+fn eval_interned<'a>(plan: &Plan, ctx: &mut EvalCtx<'a>) -> Result<IRel<'a>, MayError> {
     match plan {
-        Plan::Scan(name) => ctx
-            .relations
-            .get(name)
-            .cloned()
-            .ok_or_else(|| MayError::UnknownRelation(name.clone())),
-        Plan::Select { input, predicate } => {
-            let r = eval(input, ctx)?;
-            let bound = predicate.bind(r.schema())?;
-            let mut out = URelation::new(r.schema().clone());
-            for (t, d) in r.rows() {
-                if bound.matches(t) {
-                    out.push(t.clone(), d.clone())?;
-                }
+        Plan::Scan(name) => {
+            let relations: &'a BTreeMap<String, URelation> = ctx.relations;
+            let rel = relations
+                .get(name)
+                .ok_or_else(|| MayError::UnknownRelation(name.clone()))?;
+            if !ctx.scan_cache.contains_key(name) {
+                let ids: Vec<DescId> = rel.rows().iter().map(|(_, d)| ctx.pool.intern(d)).collect();
+                ctx.scan_cache.insert(name.clone(), ids);
             }
-            Ok(out)
+            let ids = &ctx.scan_cache[name];
+            let rows = rel
+                .rows()
+                .iter()
+                .zip(ids)
+                .map(|((t, _), &id)| (Cow::Borrowed(t), id))
+                .collect();
+            Ok(IRel {
+                schema: Cow::Borrowed(rel.schema()),
+                rows,
+            })
+        }
+        Plan::Select { input, predicate } => {
+            let mut r = eval_interned(input, ctx)?;
+            // Bound once per relation; per row only `matches` runs.
+            let bound = predicate.bind(&r.schema)?;
+            r.rows.retain(|(t, _)| bound.matches(t));
+            Ok(r)
         }
         Plan::Project { input, columns } => {
-            let r = eval(input, ctx)?;
-            let (schema, idx) = r.schema().project(columns)?;
-            let mut out = URelation::new(schema);
-            for (t, d) in r.rows() {
-                out.push(t.project(&idx), d.clone())?;
-            }
-            out.dedup();
+            let r = eval_interned(input, ctx)?;
+            let (schema, idx) = r.schema.project(columns)?;
+            let rows = r
+                .rows
+                .iter()
+                .map(|(t, d)| (Cow::Owned(t.project(&idx)), *d))
+                .collect();
+            let mut out = IRel {
+                schema: Cow::Owned(schema),
+                rows,
+            };
+            out.dedup(&ctx.pool);
             Ok(out)
         }
         Plan::NaturalJoin { left, right } => {
-            let l = eval(left, ctx)?;
-            let r = eval(right, ctx)?;
-            let jp = l.schema().natural_join(r.schema())?;
-            // Hash join: build on the right side, probe with the left.
-            let mut built: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-            for (i, (t, _)) in r.rows().iter().enumerate() {
-                built.entry(jp.right_key(t)).or_default().push(i);
+            let l = eval_interned(left, ctx)?;
+            let r = eval_interned(right, ctx)?;
+            let jp = l.schema.natural_join(&r.schema)?;
+            // Hash join, build on the right side. Rows are bucketed in a
+            // [`ChainedIndex`] by a *hash* of their key values (computed in
+            // place, once per row — no key vector is ever materialized) and
+            // candidate pairs are verified with `JoinPlan::tuples_match`, so
+            // neither build nor probe allocates anything per row.
+            let hasher = FxBuildHasher::default();
+            let key_hash = |t: &Tuple, side: fn(&(usize, usize)) -> usize| {
+                let mut h = hasher.build_hasher();
+                for s in &jp.shared {
+                    t.values()[side(s)].hash(&mut h);
+                }
+                h.finish()
+            };
+            let mut built = ChainedIndex::with_capacity(r.rows.len());
+            for (i, (t, _)) in r.rows.iter().enumerate() {
+                built.insert(key_hash(t, |&(_, ri)| ri), i);
             }
-            let mut out = URelation::new(jp.schema.clone());
-            for (lt, ld) in l.rows() {
-                if let Some(matches) = built.get(&jp.left_key(lt)) {
-                    for &i in matches {
-                        let (rt, rd) = &r.rows()[i];
-                        // A joined tuple exists only in worlds where both
-                        // inputs exist: the conjunction of the descriptors.
-                        // Inconsistent descriptors denote no worlds — drop.
-                        if let Some(d) = ld.conjoin(rd) {
-                            out.push(jp.combine(lt, rt), d)?;
-                        }
+            let mut rows: Vec<(Cow<'a, Tuple>, DescId)> = Vec::with_capacity(l.rows.len());
+            for (lt, ld) in &l.rows {
+                for i in built.probe(key_hash(lt, |&(li, _)| li)) {
+                    let (rt, rd) = &r.rows[i];
+                    if !jp.tuples_match(lt, rt) {
+                        continue; // hash collision, not an equi-match
+                    }
+                    // A joined tuple exists only in worlds where both
+                    // inputs exist: the conjunction of the descriptors.
+                    // Inconsistent descriptors denote no worlds — drop.
+                    if let Some(d) = ctx.pool.conjoin(*ld, *rd) {
+                        rows.push((Cow::Owned(jp.combine(lt, rt)), d));
                     }
                 }
             }
-            out.dedup();
+            let mut out = IRel {
+                schema: Cow::Owned(jp.schema),
+                rows,
+            };
+            out.dedup(&ctx.pool);
             Ok(out)
         }
         Plan::Union { left, right } => {
-            let l = eval(left, ctx)?;
-            let r = eval(right, ctx)?;
-            l.schema().union_compatible(r.schema())?;
-            let mut out = l;
-            for (t, d) in r.rows() {
-                out.push(t.clone(), d.clone())?;
-            }
-            out.dedup();
-            Ok(out)
+            let mut l = eval_interned(left, ctx)?;
+            let r = eval_interned(right, ctx)?;
+            l.schema.union_compatible(&r.schema)?;
+            // Reuse the left side's allocation; reserve for the right side's
+            // rows up front instead of growing inside the extend.
+            l.rows.reserve(r.rows.len());
+            l.rows.extend(r.rows);
+            l.dedup(&ctx.pool);
+            Ok(l)
         }
         Plan::Rename { input, renames } => {
-            let r = eval(input, ctx)?;
-            let schema = r.schema().rename(renames)?;
-            let mut out = URelation::new(schema);
-            for (t, d) in r.rows() {
-                out.push(t.clone(), d.clone())?;
-            }
-            Ok(out)
+            let mut r = eval_interned(input, ctx)?;
+            // Only the schema changes; the rows move through untouched.
+            r.schema = Cow::Owned(r.schema.rename(renames)?);
+            Ok(r)
         }
         Plan::Ext(op) => {
             let key = Arc::as_ptr(op) as *const () as usize;
             if let Some(cached) = ctx.ext_cache.get(&key) {
-                return Ok(cached.clone());
+                let cached = cached.clone();
+                return Ok(IRel::from_urelation(cached, &mut ctx.pool));
             }
             let inputs = op
                 .inputs()
@@ -143,7 +370,7 @@ pub fn eval(plan: &Plan, ctx: &mut EvalCtx<'_>) -> Result<URelation, MayError> {
                 .collect::<Result<Vec<_>, _>>()?;
             let result = op.eval(ctx, inputs)?;
             ctx.ext_cache.insert(key, result.clone());
-            Ok(result)
+            Ok(IRel::from_urelation(result, &mut ctx.pool))
         }
     }
 }

@@ -1,0 +1,161 @@
+//! Bench-regression gate: compare a fresh bench run against the committed
+//! baseline and fail when any workload regressed beyond the tolerance.
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json>
+//! ```
+//!
+//! Both files hold one JSON object per line as emitted by `benches/wsd.rs`
+//! (`{"bench":..., "n":..., "rows_out":..., "millis":...}`). The baseline
+//! may carry several rows per `(bench, n)` key — e.g. a historical
+//! `"phase":"pre-intern"` row followed by the current one — and the *last*
+//! row per key wins. Workloads present on only one side are reported but
+//! never fail the gate (new benches need a first baseline).
+//!
+//! Environment:
+//! * `MAYBMS_BENCH_TOLERANCE` — allowed regression in percent (default 25).
+//! * `MAYBMS_BENCH_MIN_DELTA_MS` — absolute slack in milliseconds (default
+//!   2.0): sub-tolerance *and* sub-slack differences never fail, so
+//!   micro-benchmarks in the quick CI mode don't flap on scheduler noise.
+//!
+//! The JSON subset involved is flat and fully under our control, so the
+//! parser below is a few string splits rather than a dependency (the build
+//! environment has no registry access).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One bench row: `(rows_out, millis)` keyed by `(bench, n)`.
+type Rows = BTreeMap<(String, u64), (u64, f64)>;
+
+/// Extract the value of `"key":` in a flat JSON object line, as a raw token.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .expect("flat JSON object lines end every field with , or }");
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parse a bench JSONL file; later rows overwrite earlier rows per key.
+fn parse(path: &str) -> Result<Rows, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Rows::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        let bench = match field(line, "bench") {
+            Some(b) => b.to_string(),
+            None => continue,
+        };
+        let parse_num = |k: &str| -> Result<f64, String> {
+            field(line, k)
+                .ok_or_else(|| format!("{path}: line missing \"{k}\": {line}"))?
+                .parse::<f64>()
+                .map_err(|e| format!("{path}: bad \"{k}\" in {line}: {e}"))
+        };
+        let n = parse_num("n")? as u64;
+        let rows_out = parse_num("rows_out")? as u64;
+        let millis = parse_num("millis")?;
+        out.insert((bench, n), (rows_out, millis));
+    }
+    Ok(out)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_check <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    }
+    let (baseline, current) = match (parse(&args[1]), parse(&args[2])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let tolerance = env_f64("MAYBMS_BENCH_TOLERANCE", 25.0) / 100.0;
+    let min_delta_ms = env_f64("MAYBMS_BENCH_MIN_DELTA_MS", 2.0);
+    let mut failed = false;
+
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>9}  verdict",
+        "bench", "n", "base ms", "now ms", "delta"
+    );
+    for ((bench, n), &(rows_now, now_ms)) in &current {
+        let key = (bench.clone(), *n);
+        let Some(&(rows_base, base_ms)) = baseline.get(&key) else {
+            println!(
+                "{bench:<16} {n:>9} {:>12} {now_ms:>12.3} {:>9}  new (no baseline)",
+                "-", "-"
+            );
+            continue;
+        };
+        if rows_base != rows_now {
+            // Output cardinality is part of the contract: a row-count drift
+            // means the workload changed, not just its speed.
+            println!(
+                "{bench:<16} {n:>9} rows_out changed: baseline {rows_base} vs current {rows_now}  FAIL"
+            );
+            failed = true;
+            continue;
+        }
+        let delta = now_ms - base_ms;
+        let regressed = delta > base_ms * tolerance && delta > min_delta_ms;
+        let pct = if base_ms > 0.0 {
+            delta / base_ms * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{bench:<16} {n:>9} {base_ms:>12.3} {now_ms:>12.3} {pct:>8.1}%  {}",
+            if regressed { "FAIL" } else { "ok" }
+        );
+        failed |= regressed;
+    }
+    for key in baseline.keys() {
+        if !current.contains_key(key) {
+            println!(
+                "{:<16} {:>9} present in baseline only (skipped)",
+                key.0, key.1
+            );
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "bench_check: regression beyond {:.0}% (+{min_delta_ms}ms slack) detected",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extracts_tokens() {
+        let line = r#"{"bench":"join3","n":1000,"rows_out":1051,"millis":1.186}"#;
+        assert_eq!(field(line, "bench"), Some("join3"));
+        assert_eq!(field(line, "n"), Some("1000"));
+        assert_eq!(field(line, "millis"), Some("1.186"));
+        assert_eq!(field(line, "absent"), None);
+    }
+}

@@ -8,7 +8,9 @@
 //! run).
 
 use maybms_core::rng::Rng;
-use maybms_core::{Component, Schema, Tuple, URelation, Value, ValueType, WorldSet, WsDescriptor};
+use maybms_core::{
+    Component, ComponentId, Schema, Tuple, URelation, Value, ValueType, WorldSet, WsDescriptor,
+};
 
 /// Build a world set with one relation `r` of `n` rows engineered to
 /// exercise normalization: duplicate rows, absorbable descriptor pairs, and
@@ -53,6 +55,138 @@ pub fn normalization_workload(rng: &mut Rng, n: usize) -> WorldSet {
     }
     ws.insert("r", rel)
         .expect("descriptors reference fresh components");
+    ws
+}
+
+/// Build a world set exercising exact `conf` with *disjoint* descriptor
+/// groups: one relation `r(id)` of `tuples` rows, where every tuple carries
+/// a DNF of 1–6-term descriptors drawn from `groups_per_tuple` mutually
+/// disjoint groups of `comps_per_group` fresh components (each with
+/// `alternatives` alternatives).
+///
+/// Within a group the descriptors are overlapping sliding windows over the
+/// group's components, so each group is one *connected* block of
+/// `comps_per_group` variables. Across groups no component is shared. A
+/// factorized `conf` therefore pays per-group cost only (inclusion–exclusion
+/// over a handful of descriptors, or at worst `alternatives^comps_per_group`
+/// enumeration), while an unfactorized evaluator would enumerate
+/// `alternatives^(groups_per_tuple · comps_per_group)` assignments per tuple
+/// — with the default bench shape (2 groups × 10 components × 4
+/// alternatives) that is `4^20` versus two `4^10`-bounded solves.
+pub fn conf_disjoint_workload(
+    rng: &mut Rng,
+    tuples: usize,
+    groups_per_tuple: usize,
+    comps_per_group: usize,
+    alternatives: usize,
+) -> WorldSet {
+    let mut ws = WorldSet::new();
+    let schema = Schema::of(&[("id", ValueType::Int)]).expect("single column");
+    let mut rel = URelation::new(schema);
+    for i in 0..tuples {
+        let t = Tuple::new(vec![Value::Int(i as i64)]);
+        for _ in 0..groups_per_tuple {
+            let comps: Vec<ComponentId> = (0..comps_per_group)
+                .map(|_| {
+                    ws.components
+                        .add(Component::uniform(alternatives).expect("alternatives > 0"))
+                })
+                .collect();
+            // Overlapping windows: each shares its first component with the
+            // previous window, keeping the group connected and every
+            // descriptor within the 1–6-term band.
+            let width = rng.range(2.min(comps_per_group), 3.min(comps_per_group));
+            let mut start = 0;
+            loop {
+                let end = (start + width).min(comps_per_group);
+                let terms: Vec<(ComponentId, u16)> = comps[start..end]
+                    .iter()
+                    .map(|&c| (c, rng.below(alternatives) as u16))
+                    .collect();
+                rel.push(
+                    t.clone(),
+                    WsDescriptor::from_terms(terms).expect("distinct components"),
+                )
+                .expect("schema ok");
+                if end == comps_per_group {
+                    break;
+                }
+                start = end - 1;
+            }
+        }
+    }
+    ws.insert("r", rel)
+        .expect("descriptors reference fresh components");
+    ws
+}
+
+/// Build a world set exercising exact `conf` on one *connected* descriptor
+/// group per tuple: a chain of `chain_len + 1` components per tuple, with a
+/// 2-term descriptor per adjacent pair (`{cᵢ, cᵢ₊₁}`). Every descriptor
+/// shares a variable with the next, so the whole chain is a single
+/// connected group — the adversarial case where factorization cannot split
+/// anything and per-group exact solving (inclusion–exclusion vs.
+/// enumeration) carries the load alone.
+pub fn conf_chain_workload(
+    rng: &mut Rng,
+    tuples: usize,
+    chain_len: usize,
+    alternatives: usize,
+) -> WorldSet {
+    let mut ws = WorldSet::new();
+    let schema = Schema::of(&[("id", ValueType::Int)]).expect("single column");
+    let mut rel = URelation::new(schema);
+    for i in 0..tuples {
+        let t = Tuple::new(vec![Value::Int(i as i64)]);
+        let comps: Vec<ComponentId> = (0..chain_len + 1)
+            .map(|_| {
+                ws.components
+                    .add(Component::uniform(alternatives).expect("alternatives > 0"))
+            })
+            .collect();
+        for pair in comps.windows(2) {
+            let terms = vec![
+                (pair[0], rng.below(alternatives) as u16),
+                (pair[1], rng.below(alternatives) as u16),
+            ];
+            rel.push(
+                t.clone(),
+                WsDescriptor::from_terms(terms).expect("distinct components"),
+            )
+            .expect("schema ok");
+        }
+    }
+    ws.insert("r", rel)
+        .expect("descriptors reference fresh components");
+    ws
+}
+
+/// Build a certain relation `r(k, v, w)` of `n` rows whose key column `k`
+/// collides in groups of ~4, with a positive integer weight column `w` —
+/// the `repair-key ... weight by w` workload (grouping, per-group component
+/// minting, weighted alternatives).
+pub fn repair_workload(rng: &mut Rng, n: usize) -> WorldSet {
+    let mut ws = WorldSet::new();
+    let schema = Schema::of(&[
+        ("k", ValueType::Int),
+        ("v", ValueType::Int),
+        ("w", ValueType::Int),
+    ])
+    .expect("distinct columns");
+    let mut rel = URelation::new(schema);
+    let key_domain = (n / 4).max(1);
+    for i in 0..n {
+        rel.push(
+            Tuple::new(vec![
+                Value::Int(rng.below(key_domain) as i64),
+                Value::Int(i as i64),
+                Value::Int(rng.range(1, 5) as i64),
+            ]),
+            WsDescriptor::tautology(),
+        )
+        .expect("schema ok");
+    }
+    ws.insert("r", rel).expect("certain relation is valid");
     ws
 }
 

@@ -1,10 +1,12 @@
 //! Components: the independent factors of a world-set decomposition.
 
+use std::borrow::Borrow;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
-use crate::descriptor::{ComponentId, WsDescriptor};
+use crate::descriptor::{merge_sorted_terms, ComponentId, WsDescriptor};
 use crate::error::MayError;
+use crate::fxhash::FxHashMap;
 
 /// One independent component of a world-set decomposition: a finite
 /// probability distribution over `alternatives()` local worlds.
@@ -203,20 +205,56 @@ impl ComponentSet {
             .product()
     }
 
-    /// Exact probability of a disjunction of descriptors.
+    /// Exact probability of a disjunction of descriptors, *factorized*.
     ///
-    /// Enumerates the assignments of the components that actually occur in
-    /// `descs` (not the whole component set), summing the probability of each
-    /// combination satisfied by at least one descriptor. Exponential in the
-    /// number of *relevant* components only; exact `conf` is #P-hard in
-    /// general, so this is the honest baseline future PRs will approximate.
-    pub fn prob_of_dnf(&self, descs: &[WsDescriptor]) -> f64 {
-        if descs.iter().any(WsDescriptor::is_tautology) {
+    /// The descriptors are partitioned into connected groups over shared
+    /// components (two descriptors are connected when they mention a common
+    /// component). Groups touch disjoint component sets, so by independence
+    ///
+    /// ```text
+    /// P(d₁ ∨ … ∨ dₙ) = 1 − Π over groups g of (1 − P(g))
+    /// ```
+    ///
+    /// and each group is solved exactly by whichever of two exact methods is
+    /// cheaper for it: inclusion–exclusion over the group's `k` descriptors
+    /// (`2ᵏ − 1` conjunction probabilities) or enumeration of the group's
+    /// component assignments (`Π` alternative counts). The overall cost is
+    /// exponential only in the largest *connected* group, never in the total
+    /// number of relevant components — two disjoint groups of 10 components
+    /// cost `2·cost(10)`, not `cost(20)`. Exact `conf` remains #P-hard in
+    /// general; [`ComponentSet::prob_of_dnf_enumerate`] keeps the
+    /// unfactorized brute force as the differential-testing oracle.
+    pub fn prob_of_dnf<D: Borrow<WsDescriptor>>(&self, descs: &[D]) -> f64 {
+        if descs.iter().any(|d| d.borrow().is_tautology()) {
             return 1.0;
         }
+        let refs: Vec<&WsDescriptor> = descs.iter().map(Borrow::borrow).collect();
+        if refs.is_empty() {
+            return 0.0;
+        }
+        let mut prob_none = 1.0;
+        for group in connected_groups(&refs) {
+            prob_none *= 1.0 - self.prob_of_group(&group);
+            if prob_none == 0.0 {
+                break;
+            }
+        }
+        1.0 - prob_none
+    }
+
+    /// Exact probability of a disjunction of descriptors by brute-force
+    /// enumeration of every assignment of every relevant component — the
+    /// original unfactorized algorithm, kept as the oracle that the
+    /// factorized [`ComponentSet::prob_of_dnf`] is tested against.
+    /// Exponential in the total number of relevant components.
+    pub fn prob_of_dnf_enumerate<D: Borrow<WsDescriptor>>(&self, descs: &[D]) -> f64 {
+        if descs.iter().any(|d| d.borrow().is_tautology()) {
+            return 1.0;
+        }
+        let refs: Vec<&WsDescriptor> = descs.iter().map(Borrow::borrow).collect();
         let mut total = 0.0;
-        self.for_each_relevant_assignment(descs, |assignment, prob| {
-            if descs.iter().any(|d| assignment_satisfies(assignment, d)) {
+        self.for_each_relevant_assignment(&refs, |assignment, prob| {
+            if refs.iter().any(|d| assignment_satisfies(assignment, d)) {
                 total += prob;
             }
             ControlFlow::Continue(())
@@ -226,15 +264,118 @@ impl ComponentSet {
 
     /// Whether the disjunction of `descs` covers *all* worlds — i.e. a tuple
     /// with these descriptors is certain. Purely possibilistic: probabilities
-    /// are ignored, every combination of alternatives counts. Stops at the
-    /// first uncovered assignment, so the common "not certain" case is cheap.
-    pub fn covers_all_worlds(&self, descs: &[WsDescriptor]) -> bool {
-        if descs.iter().any(WsDescriptor::is_tautology) {
+    /// are ignored, every combination of alternatives counts.
+    ///
+    /// Factorized like [`ComponentSet::prob_of_dnf`]: a disjunction over
+    /// disjoint component groups covers all worlds iff *some single group*
+    /// covers every assignment of its own components (if every group has a
+    /// falsifying partial assignment, their union falsifies the whole
+    /// disjunction). Each group check stops at the first uncovered
+    /// assignment, so the common "not certain" case is cheap.
+    pub fn covers_all_worlds<D: Borrow<WsDescriptor>>(&self, descs: &[D]) -> bool {
+        if descs.iter().any(|d| d.borrow().is_tautology()) {
             return true;
         }
+        let refs: Vec<&WsDescriptor> = descs.iter().map(Borrow::borrow).collect();
+        if refs.is_empty() {
+            return false;
+        }
+        connected_groups(&refs)
+            .iter()
+            .any(|group| self.group_covers_all(group))
+    }
+
+    /// Exact probability that at least one descriptor of one connected group
+    /// holds, by the cheaper of inclusion–exclusion and assignment
+    /// enumeration (both exact).
+    fn prob_of_group(&self, group: &[&WsDescriptor]) -> f64 {
+        let enum_cost = self.assignment_count(group);
+        let ie_cost = if group.len() < 64 {
+            1u128 << group.len()
+        } else {
+            u128::MAX
+        };
+        // The group-size check must stand on its own: when both costs
+        // saturate (≥ 64 descriptors over enough components), the tie must
+        // fall to enumeration — inclusion–exclusion's u64 subset masks
+        // cannot represent ≥ 64 descriptors.
+        if group.len() < 64 && ie_cost <= enum_cost {
+            self.prob_by_inclusion_exclusion(group)
+        } else {
+            let mut total = 0.0;
+            self.for_each_relevant_assignment(group, |assignment, prob| {
+                if group.iter().any(|d| assignment_satisfies(assignment, d)) {
+                    total += prob;
+                }
+                ControlFlow::Continue(())
+            });
+            total
+        }
+    }
+
+    /// Number of assignments [`Self::for_each_relevant_assignment`] would
+    /// visit for these descriptors (saturating).
+    fn assignment_count(&self, descs: &[&WsDescriptor]) -> u128 {
+        let vars: BTreeSet<ComponentId> = descs
+            .iter()
+            .flat_map(|d| d.terms().iter().map(|&(c, _)| c))
+            .collect();
+        let mut n: u128 = 1;
+        for c in vars {
+            n = n.saturating_mul(self.get(c).alternatives() as u128);
+        }
+        n
+    }
+
+    /// Inclusion–exclusion over the descriptors of one group:
+    /// `P(∨dᵢ) = Σ over non-empty S of (−1)^{|S|+1} · P(∧_{i∈S} dᵢ)`, where
+    /// each conjunction's probability is the product of its assignments'
+    /// probabilities (0 when the conjunction is inconsistent). `2ᵏ − 1`
+    /// subset merges, no allocation beyond two reused term buffers.
+    fn prob_by_inclusion_exclusion(&self, descs: &[&WsDescriptor]) -> f64 {
+        debug_assert!(descs.len() < 64, "subset masks are u64");
+        let mut total = 0.0;
+        let mut acc: Vec<(ComponentId, u16)> = Vec::new();
+        let mut tmp: Vec<(ComponentId, u16)> = Vec::new();
+        for mask in 1u64..(1u64 << descs.len()) {
+            acc.clear();
+            let mut consistent = true;
+            let mut first = true;
+            let mut bits = mask;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if first {
+                    acc.extend_from_slice(descs[i].terms());
+                    first = false;
+                    continue;
+                }
+                tmp.clear();
+                if !merge_sorted_terms(&acc, descs[i].terms(), &mut tmp) {
+                    consistent = false;
+                    break;
+                }
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            if !consistent {
+                continue;
+            }
+            let p: f64 = acc.iter().map(|&(c, a)| self.get(c).prob(a)).product();
+            if mask.count_ones() % 2 == 1 {
+                total += p;
+            } else {
+                total -= p;
+            }
+        }
+        total
+    }
+
+    /// Whether one connected group's descriptors cover every assignment of
+    /// the group's components (early-exits on the first gap).
+    fn group_covers_all(&self, group: &[&WsDescriptor]) -> bool {
         let mut all = true;
-        self.for_each_relevant_assignment(descs, |assignment, _| {
-            if descs.iter().any(|d| assignment_satisfies(assignment, d)) {
+        self.for_each_relevant_assignment(group, |assignment, _| {
+            if group.iter().any(|d| assignment_satisfies(assignment, d)) {
                 ControlFlow::Continue(())
             } else {
                 all = false;
@@ -249,7 +390,7 @@ impl ComponentSet {
     /// exhausted or `f` breaks.
     fn for_each_relevant_assignment(
         &self,
-        descs: &[WsDescriptor],
+        descs: &[&WsDescriptor],
         mut f: impl FnMut(&[(ComponentId, u16)], f64) -> ControlFlow<()>,
     ) {
         let vars: Vec<ComponentId> = descs
@@ -285,6 +426,47 @@ impl ComponentSet {
             }
         }
     }
+}
+
+/// Partition descriptors into connected groups: two descriptors share a
+/// group iff they are linked by a chain of shared components. Union-find
+/// over descriptor indices, linear in the total number of terms. Groups are
+/// returned in first-occurrence order of their earliest descriptor, so the
+/// float combination order downstream is deterministic across processes.
+fn connected_groups<'d>(descs: &[&'d WsDescriptor]) -> Vec<Vec<&'d WsDescriptor>> {
+    let mut parent: Vec<usize> = (0..descs.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: FxHashMap<ComponentId, usize> = FxHashMap::default();
+    for (i, d) in descs.iter().enumerate() {
+        for &(c, _) in d.terms() {
+            match owner.get(&c) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[ri] = rj;
+                }
+                None => {
+                    owner.insert(c, i);
+                }
+            }
+        }
+    }
+    let mut slot_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut groups: Vec<Vec<&WsDescriptor>> = Vec::new();
+    for (i, d) in descs.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let slot = *slot_of_root.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[slot].push(d);
+    }
+    groups
 }
 
 /// Whether a (sorted) partial assignment satisfies a descriptor. Every

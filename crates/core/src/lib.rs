@@ -21,6 +21,10 @@
 //!   named u-relations) with exhaustive **world enumeration**, which serves as
 //!   the *naive oracle* that the algebra layer is differentially tested
 //!   against;
+//! * [`intern`] — the descriptor pool: each distinct descriptor is mapped to
+//!   a dense `u32` [`DescId`] (with inline storage for the dominant 0/1/2-term
+//!   cases), so the executor conjoins, hashes, and deduplicates on integers
+//!   instead of re-allocating sorted term vectors;
 //! * [`normalize`] — descriptor simplification, absorption, merging of rows
 //!   that cover all alternatives of a component, and garbage collection of
 //!   unreferenced components;
@@ -38,6 +42,8 @@
 pub mod component;
 pub mod descriptor;
 pub mod error;
+pub mod fxhash;
+pub mod intern;
 pub mod naive;
 pub mod normalize;
 pub mod rel;
@@ -50,6 +56,8 @@ pub mod world;
 pub use component::{Component, ComponentSet, WorldPick};
 pub use descriptor::{ComponentId, WsDescriptor};
 pub use error::MayError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use intern::{DescId, DescriptorPool};
 pub use rel::{Relation, Tuple};
 pub use schema::{Column, Schema};
 pub use urel::URelation;

@@ -42,6 +42,13 @@ pub fn normalize(ws: &mut WorldSet) {
 }
 
 /// Normalize one relation's rows against a component set.
+///
+/// The rewrites (dedup, absorption, coverage merging) only ever relate rows
+/// carrying the *same* tuple, so after one global sort each tuple group can
+/// be simplified to its own local fixpoint independently — the relation is
+/// never re-sorted or rebuilt per iteration, and tuples are moved (cloned
+/// only when a tuple keeps several descriptors), which is what keeps
+/// normalization linearithmic-plus-local-work on large relations.
 pub fn normalize_rows(
     rows: Vec<(Tuple, WsDescriptor)>,
     components: &ComponentSet,
@@ -50,31 +57,37 @@ pub fn normalize_rows(
         .into_iter()
         .map(|(t, d)| (t, strip_trivial(d, components)))
         .collect();
-    loop {
-        rows.sort_unstable();
-        rows.dedup();
-        let mut changed = false;
-        let mut out: Vec<(Tuple, WsDescriptor)> = Vec::with_capacity(rows.len());
-        let mut i = 0;
-        while i < rows.len() {
-            let group_end = rows[i..]
-                .iter()
-                .position(|r| r.0 != rows[i].0)
-                .map_or(rows.len(), |k| i + k);
-            let tuple = rows[i].0.clone();
-            let mut descs: Vec<WsDescriptor> =
-                rows[i..group_end].iter().map(|r| r.1.clone()).collect();
-            changed |= simplify_disjunction(&mut descs, components);
-            out.extend(descs.into_iter().map(|d| (tuple.clone(), d)));
-            i = group_end;
+    rows.sort_unstable();
+    rows.dedup();
+
+    let mut out: Vec<(Tuple, WsDescriptor)> = Vec::with_capacity(rows.len());
+    let mut it = rows.into_iter().peekable();
+    while let Some((tuple, first_desc)) = it.next() {
+        let mut descs = vec![first_desc];
+        while it.peek().is_some_and(|(t, _)| *t == tuple) {
+            descs.push(it.next().expect("peeked").1);
         }
-        rows = out;
-        if !changed {
-            rows.sort_unstable();
-            rows.dedup();
-            return rows;
+        if descs.len() > 1 {
+            // Local fixpoint: each pass re-sorts and dedups only this
+            // tuple's descriptors before trying the rewrites again.
+            loop {
+                descs.sort_unstable();
+                descs.dedup();
+                if !simplify_disjunction(&mut descs, components) {
+                    break;
+                }
+            }
         }
+        // Emit in canonical (tuple, descriptor) order; the tuple is moved
+        // into the group's last row and cloned only for the rows before it.
+        let last = descs.len() - 1;
+        let mut ds = descs.into_iter();
+        for _ in 0..last {
+            out.push((tuple.clone(), ds.next().expect("before last")));
+        }
+        out.push((tuple, ds.next().expect("last descriptor")));
     }
+    out
 }
 
 /// Remove assignments to components with a single alternative.

@@ -48,6 +48,43 @@ impl URelation {
         Ok(())
     }
 
+    /// Append a row *without* re-checking the tuple against the schema.
+    ///
+    /// The bulk path for hot loops whose tuples are schema-correct by
+    /// construction — projections of checked tuples, join combinations of
+    /// checked tuples, or rows taken from a relation with the same schema.
+    /// The caller is responsible for that invariant; it is re-verified in
+    /// debug builds only.
+    pub fn push_unchecked(&mut self, tuple: Tuple, desc: WsDescriptor) {
+        debug_assert!(
+            self.schema.check(&tuple).is_ok(),
+            "push_unchecked received a tuple that violates the schema"
+        );
+        self.rows.push((tuple, desc));
+    }
+
+    /// Build a u-relation from rows that are schema-correct by construction
+    /// (see [`URelation::push_unchecked`]); re-verified in debug builds only.
+    pub fn from_rows_unchecked(schema: Schema, rows: Vec<(Tuple, WsDescriptor)>) -> Self {
+        debug_assert!(
+            rows.iter().all(|(t, _)| schema.check(t).is_ok()),
+            "from_rows_unchecked received a tuple that violates the schema"
+        );
+        URelation { schema, rows }
+    }
+
+    /// Decompose into schema and rows (used by the zero-copy executor to
+    /// move extension-operator results without cloning).
+    pub fn into_parts(self) -> (Schema, Vec<(Tuple, WsDescriptor)>) {
+        (self.schema, self.rows)
+    }
+
+    /// Reserve capacity for at least `additional` more rows (e.g. before a
+    /// bulk union).
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -5,6 +5,15 @@ use std::sync::Arc;
 use maybms_algebra::{EvalCtx, ExtOperator, Plan};
 use maybms_core::{Column, MayError, Schema, URelation, Value, ValueType, WsDescriptor};
 
+// `Conf::eval` computes P(t) = P(d₁ ∨ … ∨ dₙ) per distinct tuple via
+// `ComponentSet::prob_of_dnf`, which factorizes the disjunction into
+// connected descriptor groups over shared components and multiplies the
+// per-group probabilities (`P = 1 − Π(1 − P_group)` by independence). The
+// cost is exponential only in the largest *connected* group — two disjoint
+// 10-component groups cost two 10-component solves, not one 20-component
+// enumeration — and each group is solved by the cheaper of
+// inclusion–exclusion and assignment enumeration.
+
 /// Name of the appended confidence column.
 pub const CONF_COLUMN: &str = "conf";
 
@@ -42,12 +51,16 @@ impl ExtOperator for Conf {
         let r = &inputs[0];
         let schema = self.output_schema(&[r.schema().clone()])?;
         let mut out = URelation::new(schema);
-        for (t, descs) in r.grouped() {
+        let grouped = r.grouped();
+        out.reserve(grouped.len());
+        for (t, descs) in grouped {
             // P(t in DB) = P(d₁ ∨ … ∨ dₙ), exact over the components the
             // descriptors mention (they are independent of all others).
-            let owned: Vec<WsDescriptor> = descs.iter().map(|d| (*d).clone()).collect();
-            let p = ctx.components.prob_of_dnf(&owned);
-            out.push(t.extended(Value::float(p)), WsDescriptor::tautology())?;
+            // `prob_of_dnf` borrows the grouped descriptors directly.
+            let p = ctx.components.prob_of_dnf(&descs);
+            // `extended` appends the float `conf` column the output schema
+            // declares, so the row is schema-correct by construction.
+            out.push_unchecked(t.extended(Value::float(p)), WsDescriptor::tautology());
         }
         Ok(out)
     }

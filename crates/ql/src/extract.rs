@@ -33,10 +33,14 @@ impl ExtOperator for Possible {
     fn eval(&self, _ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
         let r = &inputs[0];
         // Descriptors are consistent by construction (conjoin rejects
-        // contradictions), so every annotated tuple is possible.
+        // contradictions), so every annotated tuple is possible. Tuples come
+        // from a schema-checked relation with the same schema, so the bulk
+        // unchecked path applies.
         let mut out = URelation::new(r.schema().clone());
-        for t in r.grouped().keys() {
-            out.push((*t).clone(), WsDescriptor::tautology())?;
+        let grouped = r.grouped();
+        out.reserve(grouped.len());
+        for t in grouped.keys() {
+            out.push_unchecked((*t).clone(), WsDescriptor::tautology());
         }
         Ok(out)
     }
@@ -72,11 +76,11 @@ impl ExtOperator for Certain {
         let mut out = URelation::new(r.schema().clone());
         for (t, descs) in r.grouped() {
             // A tuple is certain iff the disjunction of its descriptors
-            // covers all worlds; only the components the descriptors mention
-            // need to be enumerated.
-            let owned: Vec<WsDescriptor> = descs.iter().map(|d| (*d).clone()).collect();
-            if ctx.components.covers_all_worlds(&owned) {
-                out.push(t.clone(), WsDescriptor::tautology())?;
+            // covers all worlds. `covers_all_worlds` factorizes into
+            // connected descriptor groups and only enumerates within a
+            // group, borrowing the grouped descriptors directly.
+            if ctx.components.covers_all_worlds(&descs) {
+                out.push_unchecked(t.clone(), WsDescriptor::tautology());
             }
         }
         Ok(out)

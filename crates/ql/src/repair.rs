@@ -84,11 +84,14 @@ impl ExtOperator for RepairKey {
                 .push(t);
         }
 
+        // Output tuples are exactly the (schema-checked) input tuples, so
+        // the bulk unchecked path applies throughout.
         let mut out = URelation::new(r.schema().clone());
+        out.reserve(groups.values().map(Vec::len).sum());
         for group in groups.values() {
             if group.len() == 1 {
                 // A unique key value needs no repair: the tuple is certain.
-                out.push(group[0].clone(), WsDescriptor::tautology())?;
+                out.push_unchecked(group[0].clone(), WsDescriptor::tautology());
                 continue;
             }
             let weights: Vec<f64> = match weight_idx {
@@ -110,7 +113,7 @@ impl ExtOperator for RepairKey {
             let component = Component::from_weights(&weights)?;
             let cid = ctx.components.add(component);
             for (alt, t) in group.iter().enumerate() {
-                out.push((*t).clone(), WsDescriptor::single(cid, alt as u16))?;
+                out.push_unchecked((*t).clone(), WsDescriptor::single(cid, alt as u16));
             }
         }
         Ok(out)
