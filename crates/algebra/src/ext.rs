@@ -17,6 +17,28 @@ pub trait ExtOperator: fmt::Debug + Send + Sync {
     /// Operator name, for diagnostics.
     fn name(&self) -> &'static str;
 
+    /// One-line description including the operator's parameters, used by the
+    /// plan tree printer (`Display` for [`Plan`]). Defaults to [`name`].
+    ///
+    /// [`name`]: ExtOperator::name
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Render this operator as MayQL query text, given its input plans
+    /// already rendered as MayQL *from-items* (a bare relation name or a
+    /// parenthesized subquery), in [`inputs`] order. Returning `None` (the
+    /// default) marks the operator as having no textual form; the MayQL
+    /// unparser reports it as unsupported. Implementations must produce text
+    /// that parses and lowers back to an equivalent operator — the roundtrip
+    /// property the `maybms-sql` tests enforce.
+    ///
+    /// [`inputs`]: ExtOperator::inputs
+    fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
+        let _ = inputs;
+        None
+    }
+
     /// The operator's input plans, evaluated before [`ExtOperator::eval`] is
     /// called.
     fn inputs(&self) -> Vec<&Plan>;

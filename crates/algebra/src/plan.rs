@@ -1,5 +1,6 @@
 //! The logical plan IR for the positive relational algebra.
 
+use std::fmt;
 use std::sync::Arc;
 
 use crate::ext::ExtOperator;
@@ -69,11 +70,17 @@ impl Plan {
         }
     }
 
-    /// Apply a projection.
-    pub fn project(self, columns: &[&str]) -> Plan {
+    /// Apply a projection. Accepts any iterable of name-like items, so call
+    /// sites can pass `["a", "b"]`, a `Vec<String>`, or an iterator without
+    /// building a `&[&str]` temporary.
+    pub fn project<I, S>(self, columns: I) -> Plan
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
         Plan::Project {
             input: Box::new(self),
-            columns: columns.iter().map(|c| c.to_string()).collect(),
+            columns: columns.into_iter().map(Into::into).collect(),
         }
     }
 
@@ -93,14 +100,70 @@ impl Plan {
         }
     }
 
-    /// Rename columns.
-    pub fn rename(self, renames: &[(&str, &str)]) -> Plan {
+    /// Rename columns via `(old, new)` pairs; accepts any iterable of
+    /// name-like pairs (same rationale as [`Plan::project`]).
+    pub fn rename<I, A, B>(self, renames: I) -> Plan
+    where
+        I: IntoIterator<Item = (A, B)>,
+        A: Into<String>,
+        B: Into<String>,
+    {
         Plan::Rename {
             input: Box::new(self),
             renames: renames
-                .iter()
-                .map(|(o, n)| (o.to_string(), n.to_string()))
+                .into_iter()
+                .map(|(o, n)| (o.into(), n.into()))
                 .collect(),
         }
+    }
+
+    fn fmt_tree(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        for _ in 0..depth {
+            f.write_str("  ")?;
+        }
+        match self {
+            Plan::Scan(name) => writeln!(f, "scan[{name}]"),
+            Plan::Select { input, predicate } => {
+                writeln!(f, "select[{predicate}]")?;
+                input.fmt_tree(f, depth + 1)
+            }
+            Plan::Project { input, columns } => {
+                writeln!(f, "project[{}]", columns.join(", "))?;
+                input.fmt_tree(f, depth + 1)
+            }
+            Plan::NaturalJoin { left, right } => {
+                writeln!(f, "natural-join")?;
+                left.fmt_tree(f, depth + 1)?;
+                right.fmt_tree(f, depth + 1)
+            }
+            Plan::Union { left, right } => {
+                writeln!(f, "union")?;
+                left.fmt_tree(f, depth + 1)?;
+                right.fmt_tree(f, depth + 1)
+            }
+            Plan::Rename { input, renames } => {
+                let pairs: Vec<String> =
+                    renames.iter().map(|(o, n)| format!("{o} -> {n}")).collect();
+                writeln!(f, "rename[{}]", pairs.join(", "))?;
+                input.fmt_tree(f, depth + 1)
+            }
+            Plan::Ext(op) => {
+                writeln!(f, "{}", op.describe())?;
+                for input in op.inputs() {
+                    input.fmt_tree(f, depth + 1)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An indented operator tree, independent of `Debug` formatting: one
+/// operator per line with its parameters, children indented below it.
+/// Extension operators contribute their own line via
+/// [`ExtOperator::describe`].
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_tree(f, 0)
     }
 }

@@ -1,5 +1,7 @@
 //! Selection predicates over tuples.
 
+use std::fmt;
+
 use maybms_core::{MayError, Schema, Tuple, Value};
 
 /// A comparison operator.
@@ -17,6 +19,20 @@ pub enum CmpOp {
     Gt,
     /// Greater than or equal.
     Ge,
+}
+
+/// MayQL spelling of the operator (`=`, `<>`, `<`, `<=`, `>`, `>=`).
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
 }
 
 impl CmpOp {
@@ -49,6 +65,32 @@ pub fn col(name: impl Into<String>) -> Operand {
 /// Shorthand for a literal operand.
 pub fn lit(v: impl Into<Value>) -> Operand {
     Operand::Literal(v.into())
+}
+
+/// Format a literal value in MayQL syntax so the printed form lexes back to
+/// the same [`Value`]: strings are single-quoted with `''` escaping, floats
+/// keep a decimal point or exponent (`1.0`, not `1`), and `NULL`/`TRUE`/
+/// `FALSE` use the keyword spelling.
+pub fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("NULL"),
+        Value::Bool(true) => f.write_str("TRUE"),
+        Value::Bool(false) => f.write_str("FALSE"),
+        Value::Int(i) => write!(f, "{i}"),
+        // `{:?}` always keeps a `.0` or exponent, unlike `{}`.
+        Value::Float(x) => write!(f, "{:?}", x.get()),
+        Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+    }
+}
+
+/// MayQL syntax: a bare column name or a literal (see [`fmt_literal`]).
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column(n) => f.write_str(n),
+            Operand::Literal(v) => fmt_literal(v, f),
+        }
+    }
 }
 
 /// A boolean selection predicate. Comparisons use the total order on
@@ -91,6 +133,20 @@ impl Predicate {
         Predicate::cmp(CmpOp::Lt, lhs, rhs)
     }
 
+    /// True when the predicate is a single comparison, `TRUE`, or otherwise
+    /// needs no parentheses when nested under `AND`/`OR`/`NOT`.
+    fn is_atom(&self) -> bool {
+        matches!(self, Predicate::True | Predicate::Compare { .. })
+    }
+
+    fn fmt_child(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_atom() {
+            write!(f, "{self}")
+        } else {
+            write!(f, "({self})")
+        }
+    }
+
     /// Resolve column names against a schema once, for repeated evaluation.
     pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, MayError> {
         Ok(match self {
@@ -112,6 +168,43 @@ impl Predicate {
             ),
             Predicate::Not(p) => BoundPredicate::Not(Box::new(p.bind(schema)?)),
         })
+    }
+}
+
+/// MayQL syntax, parenthesizing composite children so the printed form
+/// parses back to the same predicate tree: `a = 3 AND NOT (b < c)`.
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => f.write_str("TRUE"),
+            Predicate::Compare { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Predicate::And(ps) if ps.is_empty() => f.write_str("TRUE"),
+            Predicate::And(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" AND ")?;
+                    }
+                    p.fmt_child(f)?;
+                }
+                Ok(())
+            }
+            // An empty disjunction is vacuously *false* (`.any()` on no
+            // disjuncts), unlike the empty conjunction above.
+            Predicate::Or(ps) if ps.is_empty() => f.write_str("NOT TRUE"),
+            Predicate::Or(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" OR ")?;
+                    }
+                    p.fmt_child(f)?;
+                }
+                Ok(())
+            }
+            Predicate::Not(p) => {
+                f.write_str("NOT ")?;
+                p.fmt_child(f)
+            }
+        }
     }
 }
 

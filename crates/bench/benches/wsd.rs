@@ -1,6 +1,7 @@
-//! Timings for WSD normalization, a 3-way natural join, `repair-key`, and
-//! exact `conf`, printed as one JSON object per line (see crate docs for
-//! why this is not criterion).
+//! Timings for WSD normalization, a 3-way natural join, `repair-key`,
+//! exact `conf`, and the end-to-end MayQL pipeline (parse + analyze/lower +
+//! execute), printed as one JSON object per line (see crate docs for why
+//! this is not criterion).
 //!
 //! Each workload is timed as the minimum of [`RUNS`] repetitions on a fresh
 //! clone of the generated world set, which keeps single-core timing noise
@@ -18,6 +19,7 @@ use maybms_bench::{
 use maybms_core::rng::Rng;
 use maybms_core::WorldSet;
 use maybms_ql::{conf, repair_key};
+use maybms_sql::{compile, Catalog};
 
 /// Repetitions per workload; the minimum is reported.
 const RUNS: usize = 3;
@@ -68,6 +70,21 @@ fn main() {
             run(ws, &plan).expect("join workload is well-typed").len()
         });
         emit("join3", n, rows, ms);
+    }
+
+    // The same 3-way join driven through the MayQL front-end: parse,
+    // analyze/lower, then execute, per run. The delta against `join3` is
+    // the full front-end overhead (it should be noise: parsing is linear
+    // in the query text, execution dominates).
+    for &n in sizes {
+        let ws = join_workload(&mut Rng::new(0x10A0), n);
+        let text = "SELECT * FROM r1, r2, r3";
+        let catalog = Catalog::from_world_set(&ws);
+        let (rows, ms) = bench_min(&ws, |ws| {
+            let plan = compile(&catalog, text).expect("bench query is valid MayQL");
+            run(ws, &plan).expect("bench query is well-typed").len()
+        });
+        emit("mayql_e2e", n, rows, ms);
     }
 
     for &n in sizes {

@@ -36,6 +36,10 @@ impl ExtOperator for Conf {
         "conf"
     }
 
+    fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
+        Some(format!("SELECT CONF * FROM {}", inputs[0]))
+    }
+
     fn inputs(&self) -> Vec<&Plan> {
         vec![&self.input]
     }

@@ -22,6 +22,10 @@ impl ExtOperator for Possible {
         "possible"
     }
 
+    fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
+        Some(format!("SELECT POSSIBLE * FROM {}", inputs[0]))
+    }
+
     fn inputs(&self) -> Vec<&Plan> {
         vec![&self.input]
     }
@@ -61,6 +65,10 @@ pub fn certain(input: Plan) -> Plan {
 impl ExtOperator for Certain {
     fn name(&self) -> &'static str {
         "certain"
+    }
+
+    fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
+        Some(format!("SELECT CERTAIN * FROM {}", inputs[0]))
     }
 
     fn inputs(&self) -> Vec<&Plan> {

@@ -24,6 +24,6 @@ mod confidence;
 mod extract;
 mod repair;
 
-pub use confidence::{conf, Conf};
+pub use confidence::{conf, Conf, CONF_COLUMN};
 pub use extract::{certain, possible, Certain, Possible};
 pub use repair::{repair_key, RepairKey};

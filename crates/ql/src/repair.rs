@@ -39,6 +39,22 @@ impl ExtOperator for RepairKey {
         "repair-key"
     }
 
+    fn describe(&self) -> String {
+        match &self.weight {
+            Some(w) => format!("repair-key[key={}; weight={w}]", self.key.join(", ")),
+            None => format!("repair-key[key={}]", self.key.join(", ")),
+        }
+    }
+
+    fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
+        let mut s = format!("REPAIR KEY {} IN {}", self.key.join(", "), inputs[0]);
+        if let Some(w) = &self.weight {
+            s.push_str(" WEIGHT BY ");
+            s.push_str(w);
+        }
+        Some(s)
+    }
+
     fn inputs(&self) -> Vec<&Plan> {
         vec![&self.input]
     }

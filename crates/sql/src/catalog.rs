@@ -1,0 +1,47 @@
+//! The catalog: relation schemas that MayQL names resolve against.
+
+use std::collections::BTreeMap;
+
+use maybms_core::{Schema, WorldSet};
+
+/// A name → [`Schema`] map. Semantic analysis resolves relation references
+/// against it; it is typically derived from a [`WorldSet`] with
+/// [`Catalog::from_world_set`] and refreshed whenever a relation is added
+/// (e.g. after a REPL `LET`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Catalog {
+    schemas: BTreeMap<String, Schema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a relation schema.
+    pub fn insert(&mut self, name: impl Into<String>, schema: Schema) {
+        self.schemas.insert(name.into(), schema);
+    }
+
+    /// The schemas of every relation in a world set.
+    pub fn from_world_set(ws: &WorldSet) -> Catalog {
+        Catalog {
+            schemas: ws
+                .relations
+                .iter()
+                .map(|(n, r)| (n.clone(), r.schema().clone()))
+                .collect(),
+        }
+    }
+
+    /// The schema of the named relation, if registered.
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.schemas.get(name)
+    }
+
+    /// The registered relation names, in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.schemas.keys().map(String::as_str)
+    }
+}

@@ -1,0 +1,221 @@
+//! # maybms-sql — the MayQL front-end
+//!
+//! A textual query language for the MayBMS reproduction: the paper's
+//! SQL extension for incomplete information, covering the positive
+//! relational algebra (`SELECT` projection with `AS` renaming, natural
+//! joins over comma-separated `FROM` items, conjunctive/disjunctive
+//! `WHERE` predicates, `UNION`) plus the uncertainty constructs —
+//! `REPAIR KEY … IN … [WEIGHT BY …]` and the `POSSIBLE` / `CERTAIN` /
+//! `CONF` quantifiers.
+//!
+//! The pipeline is classic and fully hand-written (the build environment is
+//! offline, and a front-end this small doesn't need a parser generator):
+//!
+//! 1. **[`lexer`]** — source text to spanned tokens; keywords are
+//!    case-insensitive and *contextual*, so names the engine itself produces
+//!    (like the `conf` column) stay usable as identifiers.
+//! 2. **[`parser`]** — recursive descent into the typed [`ast`] (the module
+//!    docs give the full EBNF grammar).
+//! 3. **[`planner`]** — semantic analysis against a [`Catalog`] of relation
+//!    schemas fused with lowering to the [`maybms_algebra::Plan`] IR;
+//!    unresolved names, ill-typed comparisons, non-compatible unions, and
+//!    non-numeric `WEIGHT BY` columns are rejected with [`SqlError`]s
+//!    carrying the exact source [`Span`].
+//! 4. **[`unparse`]** — the pretty-printer back from plans to MayQL text;
+//!    `compile(catalog, to_mayql(catalog, plan)?)` reproduces the plan,
+//!    a property the testkit checks on randomized plans together with
+//!    execution equivalence.
+//!
+//! ```
+//! use maybms_core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
+//! use maybms_sql::{compile, Catalog};
+//!
+//! let schema = Schema::of(&[("name", ValueType::Str), ("ssn", ValueType::Int)]).unwrap();
+//! let rel = Relation::from_rows(
+//!     schema,
+//!     vec![Tuple::new(vec![Value::str("Smith"), Value::Int(185)])],
+//! )
+//! .unwrap();
+//! let mut ws = WorldSet::new();
+//! ws.insert("census", URelation::from_certain(&rel)).unwrap();
+//!
+//! let catalog = Catalog::from_world_set(&ws);
+//! let plan = compile(&catalog, "SELECT POSSIBLE ssn FROM census WHERE name = 'Smith'").unwrap();
+//! let result = maybms_algebra::run(&mut ws, &plan).unwrap();
+//! assert_eq!(result.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+pub mod span;
+pub mod unparse;
+
+pub use ast::{Query, Statement};
+pub use catalog::Catalog;
+pub use parser::{parse_query, parse_script, parse_statement};
+pub use planner::{analyze, compile, lower};
+pub use span::{Span, SqlError};
+pub use unparse::{schema_of, to_mayql};
+
+#[cfg(test)]
+mod tests {
+    use maybms_algebra::{col, lit, run, Plan, Predicate};
+    use maybms_core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
+    use maybms_ql::{conf, possible, repair_key};
+
+    use super::*;
+
+    fn census_world() -> WorldSet {
+        let schema = Schema::of(&[
+            ("name", ValueType::Str),
+            ("ssn", ValueType::Int),
+            ("w", ValueType::Int),
+        ])
+        .unwrap();
+        let rows = [
+            ("Smith", 185, 3),
+            ("Smith", 785, 1),
+            ("Brown", 185, 1),
+            ("Brown", 186, 1),
+        ];
+        let rel = Relation::from_rows(
+            schema,
+            rows.iter()
+                .map(|&(n, s, w)| Tuple::new(vec![Value::str(n), s.into(), Value::Int(w)]))
+                .collect(),
+        )
+        .unwrap();
+        let mut ws = WorldSet::new();
+        ws.insert("censusform", URelation::from_certain(&rel))
+            .unwrap();
+        ws
+    }
+
+    #[test]
+    fn lowers_the_paper_repair_query() {
+        let ws = census_world();
+        let catalog = Catalog::from_world_set(&ws);
+        let parsed = compile(&catalog, "REPAIR KEY name IN censusform WEIGHT BY w").unwrap();
+        let hand = repair_key(Plan::scan("censusform"), &["name"], Some("w"));
+        assert_eq!(
+            to_mayql(&catalog, &parsed).unwrap(),
+            to_mayql(&catalog, &hand).unwrap()
+        );
+        // Both evaluate to the same u-relation (components minted in the
+        // same deterministic order on separate world-set clones).
+        let a = run(&mut ws.clone(), &parsed).unwrap();
+        let b = run(&mut ws.clone(), &hand).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lowers_select_where_project_possible() {
+        let ws = census_world();
+        let catalog = Catalog::from_world_set(&ws);
+        let parsed = compile(
+            &catalog,
+            "SELECT POSSIBLE ssn FROM censusform WHERE name = 'Smith'",
+        )
+        .unwrap();
+        let hand = possible(
+            Plan::scan("censusform")
+                .select(Predicate::eq(col("name"), lit("Smith")))
+                .project(["ssn"]),
+        );
+        assert_eq!(
+            to_mayql(&catalog, &parsed).unwrap(),
+            to_mayql(&catalog, &hand).unwrap()
+        );
+    }
+
+    #[test]
+    fn conf_appends_a_float_column() {
+        let ws = census_world();
+        let catalog = Catalog::from_world_set(&ws);
+        let q = parse_query("SELECT CONF name, ssn FROM censusform").unwrap();
+        let schema = analyze(&catalog, &q).unwrap();
+        assert_eq!(schema.names(), vec!["name", "ssn", "conf"]);
+        assert_eq!(schema.columns()[2].ty, ValueType::Float);
+    }
+
+    #[test]
+    fn aliases_lower_to_project_then_rename() {
+        let ws = census_world();
+        let catalog = Catalog::from_world_set(&ws);
+        let parsed = compile(&catalog, "SELECT name AS n1, ssn FROM censusform").unwrap();
+        let hand = Plan::scan("censusform")
+            .project(["name", "ssn"])
+            .rename([("name", "n1")]);
+        assert_eq!(
+            to_mayql(&catalog, &parsed).unwrap(),
+            to_mayql(&catalog, &hand).unwrap()
+        );
+    }
+
+    #[test]
+    fn unparse_is_a_fixpoint_on_the_census_queries() {
+        let ws = census_world();
+        let catalog = Catalog::from_world_set(&ws);
+        let plans = [
+            repair_key(Plan::scan("censusform"), &["name"], Some("w")),
+            possible(
+                Plan::scan("censusform")
+                    .select(Predicate::eq(col("name"), lit("Smith")))
+                    .project(["ssn"]),
+            ),
+            conf(Plan::scan("censusform").project(["name", "ssn"])),
+            Plan::scan("censusform")
+                .project(["name", "ssn"])
+                .rename([("name", "n1")])
+                .join(
+                    Plan::scan("censusform")
+                        .project(["name", "ssn"])
+                        .rename([("name", "n2")]),
+                )
+                .select(Predicate::lt(col("n1"), col("n2"))),
+        ];
+        for plan in &plans {
+            let text = to_mayql(&catalog, plan).unwrap();
+            let reparsed = compile(&catalog, &text).unwrap();
+            assert_eq!(to_mayql(&catalog, &reparsed).unwrap(), text);
+            let a = run(&mut ws.clone(), plan).unwrap();
+            let b = run(&mut ws.clone(), &reparsed).unwrap();
+            assert_eq!(a, b, "execution differs for {text}");
+        }
+    }
+
+    #[test]
+    fn unparse_rejects_plans_without_a_compilable_form() {
+        let ws = census_world();
+        let catalog = Catalog::from_world_set(&ws);
+        // The executor tolerates mixed-type comparisons through `Value`'s
+        // total order, but MayQL rejects them as ill-typed — so this plan
+        // has no roundtrippable text and `to_mayql` must say so rather
+        // than emit text that fails to compile.
+        let plan = Plan::scan("censusform").select(Predicate::lt(col("name"), col("ssn")));
+        assert!(to_mayql(&catalog, &plan).is_err());
+        // A rename whose source is not among the projected columns is
+        // ill-typed (the executor rejects it); the aliased-select-list
+        // collapse must not silently drop the pair and print a *different*
+        // valid plan.
+        let plan = Plan::scan("censusform")
+            .project(["ssn"])
+            .rename([("name", "n")]);
+        assert!(to_mayql(&catalog, &plan).is_err());
+    }
+
+    #[test]
+    fn union_requires_compatible_schemas() {
+        let ws = census_world();
+        let catalog = Catalog::from_world_set(&ws);
+        let err = compile(
+            &catalog,
+            "SELECT name FROM censusform UNION SELECT ssn FROM censusform",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("union-compatible"), "{}", err.message);
+    }
+}

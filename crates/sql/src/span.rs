@@ -1,0 +1,111 @@
+//! Byte spans into MayQL source text and the spanned front-end error type.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into the query source. Every token,
+/// AST node, and front-end error carries one, so diagnostics can point at
+/// the exact offending text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A lexing, parsing, or semantic-analysis error: a human-readable message
+/// anchored to a [`Span`] of the source text. [`SqlError::render`] produces
+/// the full diagnostic with the offending line and a caret underline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlError {
+    /// Where in the source the error is.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SqlError {
+    /// Build an error.
+    pub fn new(span: Span, message: impl Into<String>) -> SqlError {
+        SqlError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Render the error against its source text: the message, the source
+    /// line containing the span, and a caret underline. Multi-line spans are
+    /// underlined on their first line only.
+    pub fn render(&self, src: &str) -> String {
+        let start = self.span.start.min(src.len());
+        let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[line_start..]
+            .find('\n')
+            .map_or(src.len(), |i| line_start + i);
+        let line_no = src[..line_start].matches('\n').count() + 1;
+        let column = src[line_start..start].chars().count() + 1;
+        let line = &src[line_start..line_end];
+        let underline_end = self.span.end.clamp(start + 1, line_end.max(start + 1));
+        let carets = "^".repeat(
+            src[start..underline_end.min(src.len())]
+                .chars()
+                .count()
+                .max(1),
+        );
+        let pad = " ".repeat(src[line_start..start].chars().count());
+        format!(
+            "error: {}\n --> line {line_no}, column {column}\n  | {line}\n  | {pad}{carets}\n",
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both() {
+        assert_eq!(Span::new(3, 5).join(Span::new(7, 9)), Span::new(3, 9));
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "SELECT *\nFROM nosuch";
+        let e = SqlError::new(Span::new(14, 20), "unknown relation `nosuch`");
+        let rendered = e.render(src);
+        assert_eq!(
+            rendered,
+            "error: unknown relation `nosuch`\n --> line 2, column 6\n  | FROM nosuch\n  |      ^^^^^^\n"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! The MayQL pretty-printer: render a [`Plan`] back to query text such that
+//! `compile(catalog, to_mayql(catalog, plan)?)` reproduces the plan.
+//!
+//! The printer emits the *canonical* textual form of each operator — bare
+//! scans become from-items, a `Rename` over a `Project` collapses into one
+//! aliased select list, and left-nested join spines flatten into one
+//! comma-separated `FROM` list — precisely mirroring what the planner's
+//! minimal lowering produces, so printing is a fixpoint: re-parsing and
+//! re-printing yields the same text. Extension operators print themselves
+//! via [`ExtOperator::unparse_mayql`].
+//!
+//! [`ExtOperator::unparse_mayql`]: maybms_algebra::ExtOperator::unparse_mayql
+
+use maybms_algebra::Plan;
+use maybms_core::{MayError, Schema};
+
+use crate::catalog::Catalog;
+
+/// Render a plan as MayQL text. Fails when the plan references a relation
+/// missing from the catalog, is internally ill-typed, contains an extension
+/// operator without a textual form, or has no compilable MayQL spelling at
+/// all — e.g. a comparison between differently-typed columns (the executor
+/// tolerates those through `Value`'s total order, but the planner rejects
+/// them as ill-typed queries), or names that fall outside the identifier
+/// grammar (there is no quoting). The rendered text is re-compiled against
+/// the catalog before being returned, so `Ok` text always parses and
+/// lowers.
+pub fn to_mayql(catalog: &Catalog, plan: &Plan) -> Result<String, MayError> {
+    let text = term(catalog, plan)?;
+    if let Err(e) = crate::planner::compile(catalog, &text) {
+        return Err(MayError::Unsupported(format!(
+            "plan has no roundtrippable MayQL form (rendered text `{text}` fails to compile: {})",
+            e.message
+        )));
+    }
+    Ok(text)
+}
+
+/// Infer the output schema of a plan against a catalog (the unparser's
+/// analogue of `maybms_algebra::infer_schema`, which needs materialized
+/// relations rather than schemas).
+pub fn schema_of(catalog: &Catalog, plan: &Plan) -> Result<Schema, MayError> {
+    match plan {
+        Plan::Scan(name) => catalog
+            .schema(name)
+            .cloned()
+            .ok_or_else(|| MayError::UnknownRelation(name.clone())),
+        Plan::Select { input, predicate } => {
+            let s = schema_of(catalog, input)?;
+            predicate.bind(&s)?;
+            Ok(s)
+        }
+        Plan::Project { input, columns } => Ok(schema_of(catalog, input)?.project(columns)?.0),
+        Plan::NaturalJoin { left, right } => Ok(schema_of(catalog, left)?
+            .natural_join(&schema_of(catalog, right)?)?
+            .schema),
+        Plan::Union { left, right } => {
+            let l = schema_of(catalog, left)?;
+            l.union_compatible(&schema_of(catalog, right)?)?;
+            Ok(l)
+        }
+        Plan::Rename { input, renames } => Ok(schema_of(catalog, input)?.rename(renames)?),
+        Plan::Ext(op) => {
+            let inputs = op
+                .inputs()
+                .into_iter()
+                .map(|p| schema_of(catalog, p))
+                .collect::<Result<Vec<_>, _>>()?;
+            op.output_schema(&inputs)
+        }
+    }
+}
+
+/// Render a plan as a standalone query term.
+fn term(catalog: &Catalog, plan: &Plan) -> Result<String, MayError> {
+    Ok(match plan {
+        Plan::Scan(name) => format!("SELECT * FROM {name}"),
+        Plan::Select { input, predicate } => {
+            format!(
+                "SELECT * FROM {} WHERE {predicate}",
+                from_list(catalog, input)?
+            )
+        }
+        Plan::Project { input, columns } => {
+            format!(
+                "SELECT {} FROM {}",
+                columns.join(", "),
+                from_list(catalog, input)?
+            )
+        }
+        Plan::Rename { input, renames } => {
+            // A rename over a projection collapses into one aliased select
+            // list — the shape the planner lowers `SELECT a AS x, b` to.
+            // Any other rename synthesizes the full column list of its
+            // input, which requires the input schema.
+            let (columns, inner): (Vec<String>, &Plan) = match &**input {
+                Plan::Project { input: i2, columns } => (columns.clone(), i2),
+                other => (
+                    schema_of(catalog, other)?
+                        .names()
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect(),
+                    other,
+                ),
+            };
+            // Every rename source must actually be present, or the aliased
+            // select list would silently denote a *different* plan (the
+            // executor rejects such a rename as ill-typed, and so must we).
+            for (old, _) in renames {
+                if !columns.contains(old) {
+                    return Err(MayError::UnknownColumn(format!(
+                        "rename source `{old}` is not a column of the renamed input"
+                    )));
+                }
+            }
+            let list: Vec<String> = columns
+                .iter()
+                .map(|c| match renames.iter().find(|(old, _)| old == c) {
+                    Some((_, new)) => format!("{c} AS {new}"),
+                    None => c.clone(),
+                })
+                .collect();
+            format!(
+                "SELECT {} FROM {}",
+                list.join(", "),
+                from_list(catalog, inner)?
+            )
+        }
+        Plan::NaturalJoin { .. } => {
+            format!("SELECT * FROM {}", from_list(catalog, plan)?)
+        }
+        Plan::Union { left, right } => {
+            let l = term(catalog, left)?;
+            let r = term(catalog, right)?;
+            // Left-nested unions reassociate for free; a right-nested union
+            // needs parentheses to survive the left-associative parse.
+            if matches!(**right, Plan::Union { .. }) {
+                format!("{l} UNION ({r})")
+            } else {
+                format!("{l} UNION {r}")
+            }
+        }
+        Plan::Ext(op) => {
+            let inputs = op
+                .inputs()
+                .into_iter()
+                .map(|p| from_item(catalog, p))
+                .collect::<Result<Vec<_>, _>>()?;
+            op.unparse_mayql(&inputs).ok_or_else(|| {
+                MayError::Unsupported(format!("operator {} has no MayQL form", op.name()))
+            })?
+        }
+    })
+}
+
+/// Render a plan as a `FROM`-list item: a bare relation name for scans,
+/// otherwise a parenthesized subquery.
+fn from_item(catalog: &Catalog, plan: &Plan) -> Result<String, MayError> {
+    Ok(match plan {
+        Plan::Scan(name) => name.clone(),
+        other => format!("({})", term(catalog, other)?),
+    })
+}
+
+/// Render a plan as a comma-separated `FROM` list, flattening the left
+/// spine of natural joins: `Join(Join(a, b), c)` prints as `a, b, c`, which
+/// the planner folds back to the identical left-associated join.
+fn from_list(catalog: &Catalog, plan: &Plan) -> Result<String, MayError> {
+    fn flatten(catalog: &Catalog, plan: &Plan, out: &mut Vec<String>) -> Result<(), MayError> {
+        match plan {
+            Plan::NaturalJoin { left, right } => {
+                flatten(catalog, left, out)?;
+                out.push(from_item(catalog, right)?);
+                Ok(())
+            }
+            other => {
+                out.push(from_item(catalog, other)?);
+                Ok(())
+            }
+        }
+    }
+    let mut items = Vec::new();
+    flatten(catalog, plan, &mut items)?;
+    Ok(items.join(", "))
+}

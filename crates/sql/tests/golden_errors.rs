@@ -1,0 +1,191 @@
+//! Golden tests for the front-end's error paths: each case pins the exact
+//! span *and* message (and, for the headline cases, the fully rendered
+//! caret diagnostic), so error quality is part of the crate's contract
+//! rather than an accident of the current implementation.
+
+use maybms_core::{Schema, ValueType};
+use maybms_sql::{compile, parse_query, Catalog, Span, SqlError};
+
+/// `census(name str, ssn int, w int)` plus `r(a int, b int)`.
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.insert(
+        "census",
+        Schema::of(&[
+            ("name", ValueType::Str),
+            ("ssn", ValueType::Int),
+            ("w", ValueType::Int),
+        ])
+        .expect("distinct columns"),
+    );
+    c.insert(
+        "r",
+        Schema::of(&[("a", ValueType::Int), ("b", ValueType::Int)]).expect("distinct columns"),
+    );
+    c
+}
+
+/// The span of `needle` within `src` (first occurrence), so the expected
+/// spans in assertions stay readable.
+fn span_of(src: &str, needle: &str) -> Span {
+    let start = src.find(needle).expect("needle occurs in src");
+    Span::new(start, start + needle.len())
+}
+
+fn err(src: &str) -> SqlError {
+    compile(&catalog(), src).expect_err("query must be rejected")
+}
+
+#[test]
+fn unknown_relation() {
+    let src = "SELECT * FROM nosuch";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "nosuch"));
+    assert_eq!(e.message, "unknown relation `nosuch`");
+    assert_eq!(
+        e.render(src),
+        concat!(
+            "error: unknown relation `nosuch`\n",
+            " --> line 1, column 15\n",
+            "  | SELECT * FROM nosuch\n",
+            "  |               ^^^^^^\n"
+        )
+    );
+}
+
+#[test]
+fn unknown_column_in_select_list() {
+    let src = "SELECT salary FROM census";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "salary"));
+    assert_eq!(e.message, "unknown column `salary`; in scope: name, ssn, w");
+}
+
+#[test]
+fn unknown_column_in_where() {
+    let src = "SELECT ssn FROM census WHERE salary = 3";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "salary"));
+    assert_eq!(e.message, "unknown column `salary`; in scope: name, ssn, w");
+    assert_eq!(
+        e.render(src),
+        concat!(
+            "error: unknown column `salary`; in scope: name, ssn, w\n",
+            " --> line 1, column 30\n",
+            "  | SELECT ssn FROM census WHERE salary = 3\n",
+            "  |                              ^^^^^^\n"
+        )
+    );
+}
+
+#[test]
+fn union_incompatible_schemas() {
+    let src = "SELECT name FROM census UNION SELECT ssn FROM census";
+    let e = err(src);
+    // The error points at the whole right-hand term of the UNION.
+    assert_eq!(e.span, span_of(src, "SELECT ssn FROM census"));
+    assert_eq!(
+        e.message,
+        "UNION sides are not union-compatible: left is (name str), right is (ssn int)"
+    );
+}
+
+#[test]
+fn union_incompatible_across_lines() {
+    let src = "SELECT a FROM r\nUNION\nSELECT b FROM r";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "SELECT b FROM r"));
+    assert_eq!(
+        e.render(src),
+        concat!(
+            "error: UNION sides are not union-compatible: left is (a int), right is (b int)\n",
+            " --> line 3, column 1\n",
+            "  | SELECT b FROM r\n",
+            "  | ^^^^^^^^^^^^^^^\n"
+        )
+    );
+}
+
+#[test]
+fn weight_by_non_numeric_column() {
+    let src = "REPAIR KEY ssn IN census WEIGHT BY name";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "name"));
+    assert_eq!(
+        e.message,
+        "WEIGHT BY column `name` has type str; expected a numeric column"
+    );
+    assert_eq!(
+        e.render(src),
+        concat!(
+            "error: WEIGHT BY column `name` has type str; expected a numeric column\n",
+            " --> line 1, column 36\n",
+            "  | REPAIR KEY ssn IN census WEIGHT BY name\n",
+            "  |                                    ^^^^\n"
+        )
+    );
+}
+
+#[test]
+fn weight_by_unknown_column() {
+    let src = "REPAIR KEY ssn IN census WEIGHT BY missing";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "missing"));
+    assert_eq!(
+        e.message,
+        "unknown column `missing`; in scope: name, ssn, w"
+    );
+}
+
+#[test]
+fn repair_key_unknown_key_column() {
+    let src = "REPAIR KEY city IN census";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "city"));
+    assert_eq!(e.message, "unknown column `city`; in scope: name, ssn, w");
+}
+
+#[test]
+fn ill_typed_comparison() {
+    let src = "SELECT ssn FROM census WHERE ssn = 'x'";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "ssn = 'x'"));
+    assert_eq!(e.message, "cannot compare int to str");
+}
+
+#[test]
+fn duplicate_select_output() {
+    let src = "SELECT ssn, name AS ssn FROM census";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "name AS ssn"));
+    assert_eq!(e.message, "duplicate output column `ssn` in select list");
+}
+
+#[test]
+fn conf_over_conf_is_rejected() {
+    let src = "SELECT CONF * FROM (SELECT CONF ssn FROM census)";
+    let e = err(src);
+    // The *outer* CONF is the offending one.
+    assert_eq!(e.span, Span::new(7, 11));
+    assert_eq!(e.message, "CONF input already has a `conf` column");
+}
+
+#[test]
+fn parse_error_has_token_span() {
+    let src = "SELECT FROM census";
+    let e = parse_query(src).expect_err("missing select list");
+    // `FROM` in select-list position is a reserved keyword.
+    assert_eq!(e.span, span_of(src, "FROM"));
+    assert_eq!(
+        e.message,
+        "expected an identifier, found reserved keyword `FROM`"
+    );
+}
+
+#[test]
+fn unterminated_string_spans_to_eof() {
+    let src = "SELECT * FROM census WHERE name = 'Smi";
+    let e = parse_query(src).expect_err("unterminated string");
+    assert_eq!(e.span, Span::new(34, src.len()));
+    assert_eq!(e.message, "unterminated string literal");
+}

@@ -12,12 +12,13 @@
 
 use std::collections::BTreeMap;
 
-use maybms_algebra::{col, lit, naive, CmpOp, Plan, Predicate};
+use maybms_algebra::{col, lit, naive, CmpOp, Operand, Plan, Predicate};
 use maybms_core::rng::Rng;
 use maybms_core::{
     Component, MayError, Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet,
     WsDescriptor,
 };
+use maybms_ql::{certain, conf, possible, repair_key};
 
 /// Upper bound on enumerated worlds in tests; generated inputs stay far
 /// below it.
@@ -158,7 +159,7 @@ fn gen_plan_inner(rng: &mut Rng, ws: &WorldSet, depth: usize) -> Plan {
             } else {
                 keep
             };
-            input.project(&keep)
+            input.project(keep)
         }
         3 => gen_plan_inner(rng, ws, depth - 1).join(gen_plan_inner(rng, ws, depth - 1)),
         4 => {
@@ -185,7 +186,7 @@ fn gen_plan_inner(rng: &mut Rng, ws: &WorldSet, depth: usize) -> Plan {
                 return input;
             }
             let old = rng.pick(&names).to_string();
-            input.rename(&[(old.as_str(), "z")])
+            input.rename([(old.as_str(), "z")])
         }
     }
 }
@@ -193,6 +194,276 @@ fn gen_plan_inner(rng: &mut Rng, ws: &WorldSet, depth: usize) -> Plan {
 /// Schema of a generated plan (generated plans are always well-typed).
 fn plan_schema(plan: &Plan, ws: &WorldSet) -> Schema {
     maybms_algebra::infer_schema(plan, &ws.relations).expect("generated plans are well-typed")
+}
+
+/// Wrap a generated plan in a random uncertainty construct (`possible`,
+/// `certain`, `conf`, `repair-key` over a `possible`-certified input) — or
+/// leave it bare. Used by the MayQL roundtrip tests so the pretty-printer
+/// and planner are exercised across every extension operator.
+pub fn wrap_uncertainty(rng: &mut Rng, ws: &WorldSet, plan: Plan) -> Plan {
+    match rng.below(5) {
+        0 => possible(plan),
+        1 => certain(plan),
+        // Generated schemas draw from the a–d/z name pool, so a `conf`
+        // column can never pre-exist.
+        2 => conf(plan),
+        3 => {
+            let schema = plan_schema(&plan, ws);
+            let names = schema.names();
+            let mut key: Vec<&str> = names.iter().filter(|_| rng.chance(0.5)).copied().collect();
+            if key.is_empty() {
+                key.push(names[0]);
+            }
+            // No WEIGHT BY: generated values include 0, which is not a
+            // valid repair weight.
+            repair_key(possible(plan), &key, None)
+        }
+        _ => plan,
+    }
+}
+
+/// Generate a random MayQL query *string* together with the hand-built
+/// [`Plan`] it must lower to. The pair is constructed side by side — the
+/// text by emitting grammar productions (with randomized keyword case), the
+/// plan by mirroring the planner's documented lowering — so differential
+/// tests can parse the text and compare against an independently built
+/// plan, then execute both.
+///
+/// Generated queries are always semantically valid for `ws`: columns come
+/// from tracked schemas, comparisons stay within `int` columns, `UNION`
+/// sides share a schema by construction, `CONF` is only applied where no
+/// `conf` column pre-exists, and `REPAIR KEY` inputs are certified with
+/// `SELECT POSSIBLE`.
+pub fn gen_query(rng: &mut Rng, ws: &WorldSet, depth: usize) -> (String, Plan) {
+    let (text, plan, _) = gen_query_inner(rng, ws, depth);
+    (text, plan)
+}
+
+/// Keywords are case-insensitive; exercise that by flipping a coin per
+/// keyword occurrence.
+fn kw(rng: &mut Rng, word: &str) -> String {
+    if rng.chance(0.5) {
+        word.to_uppercase()
+    } else {
+        word.to_lowercase()
+    }
+}
+
+fn gen_query_inner(rng: &mut Rng, ws: &WorldSet, depth: usize) -> (String, Plan, Schema) {
+    if depth == 0 {
+        return gen_base_select(rng, ws);
+    }
+    match rng.below(4) {
+        1 => {
+            // UNION: replay the generator from a cloned RNG state so both
+            // sides get textually identical (hence union-compatible) terms
+            // that lower to *separately constructed* plans — mirroring the
+            // parser, which never shares subtrees. Optionally wrap the
+            // right side in an extra filter so the union isn't trivial.
+            let mut replay = rng.clone();
+            let (t1, p1, schema) = gen_query_inner(rng, ws, depth - 1);
+            let (t2, p2, _) = gen_query_inner(&mut replay, ws, depth - 1);
+            let int_cols = int_columns(&schema);
+            if !int_cols.is_empty() && rng.chance(0.7) {
+                let c = rng.pick(&int_cols).clone();
+                let k = rng.below(4) as i64;
+                let t2 = format!(
+                    "({} * {} ({t2}) {} {c} <> {k})",
+                    kw(rng, "select"),
+                    kw(rng, "from"),
+                    kw(rng, "where")
+                );
+                let p2 = p2.select(Predicate::cmp(CmpOp::Ne, col(c), lit(k)));
+                let text = format!("{t1} {} {t2}", kw(rng, "union"));
+                (text, p1.union(p2), schema)
+            } else {
+                // Parenthesize the right side: `UNION` parses
+                // left-associatively, so a bare `t1 UNION t2` would
+                // re-associate any top-level union inside `t2`.
+                let text = format!("{t1} {} ({t2})", kw(rng, "union"));
+                (text, p1.union(p2), schema)
+            }
+        }
+        2 => {
+            // REPAIR KEY over a POSSIBLE-certified subquery.
+            let (t, p, schema) = gen_query_inner(rng, ws, depth - 1);
+            let names = schema.names();
+            let mut key: Vec<&str> = names.iter().filter(|_| rng.chance(0.5)).copied().collect();
+            if key.is_empty() {
+                key.push(names[0]);
+            }
+            let text = format!(
+                "{} {} {} {} ({} {} * {} ({t}))",
+                kw(rng, "repair"),
+                kw(rng, "key"),
+                key.join(", "),
+                kw(rng, "in"),
+                kw(rng, "select"),
+                kw(rng, "possible"),
+                kw(rng, "from")
+            );
+            let plan = repair_key(possible(p), &key, None);
+            (text, plan, schema)
+        }
+        _ => gen_select_block(rng, ws, depth),
+    }
+}
+
+/// `SELECT * FROM r` over a random base relation.
+fn gen_base_select(rng: &mut Rng, ws: &WorldSet) -> (String, Plan, Schema) {
+    let names: Vec<&String> = ws.relations.keys().collect();
+    let name = (*rng.pick(&names)).clone();
+    let schema = ws.relations[&name].schema().clone();
+    let text = format!("{} * {} {name}", kw(rng, "select"), kw(rng, "from"));
+    (text, Plan::scan(name), schema)
+}
+
+/// A full select block: joins, optional filter, projection with optional
+/// `AS` alias, optional quantifier.
+fn gen_select_block(rng: &mut Rng, ws: &WorldSet, depth: usize) -> (String, Plan, Schema) {
+    // FROM: one or two items, natural-joined left to right.
+    let (t0, mut plan, mut schema) = gen_from_item(rng, ws, depth);
+    let mut from_texts = vec![t0];
+    if rng.chance(0.4) {
+        let (t, p, s) = gen_from_item(rng, ws, depth);
+        let jp = schema
+            .natural_join(&s)
+            .expect("generated columns agree on type");
+        plan = plan.join(p);
+        schema = jp.schema;
+        from_texts.push(t);
+    }
+
+    // WHERE: an int-typed comparison (literal or column on the right).
+    let int_cols = int_columns(&schema);
+    let filter = if !int_cols.is_empty() && rng.chance(0.5) {
+        let c = rng.pick(&int_cols).clone();
+        let op = *rng.pick(&[
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ]);
+        let (rhs_text, rhs): (String, Operand) = if rng.chance(0.5) {
+            let k = rng.below(4) as i64;
+            (k.to_string(), lit(k))
+        } else {
+            let rc = rng.pick(&int_cols).clone();
+            (rc.clone(), col(rc))
+        };
+        Some((
+            format!("{c} {op} {rhs_text}"),
+            Predicate::cmp(op, col(c), rhs),
+        ))
+    } else {
+        None
+    };
+    if let Some((_, pred)) = &filter {
+        plan = plan.select(pred.clone());
+    }
+
+    // Select list: `*`, or a non-empty subset with at most one `AS z`.
+    let list_text = if rng.chance(0.4) {
+        "*".to_string()
+    } else {
+        let names: Vec<String> = schema.names().iter().map(|n| n.to_string()).collect();
+        let mut keep: Vec<String> = names.iter().filter(|_| rng.chance(0.6)).cloned().collect();
+        if keep.is_empty() {
+            keep.push(names[0].clone());
+        }
+        let alias_idx = if rng.chance(0.3) && !keep.iter().any(|c| c == "z") {
+            Some(rng.below(keep.len()))
+        } else {
+            None
+        };
+        let (projected, _) = schema.project(&keep).expect("kept columns exist");
+        plan = plan.project(keep.clone());
+        schema = projected;
+        let items: Vec<String> = keep
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if alias_idx == Some(i) {
+                    format!("{c} {} z", kw(rng, "as"))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        if let Some(i) = alias_idx {
+            schema = schema
+                .rename(&[(keep[i].clone(), "z".to_string())])
+                .expect("alias `z` is fresh");
+            plan = plan.rename([(keep[i].as_str(), "z")]);
+        }
+        items.join(", ")
+    };
+
+    // Quantifier (CONF only when no `conf` column pre-exists).
+    let quant = match rng.below(8) {
+        0 => Some(("possible", Quant::Possible)),
+        1 => Some(("certain", Quant::Certain)),
+        2 if schema.col_index("conf").is_err() => Some(("conf", Quant::Conf)),
+        _ => None,
+    };
+    let mut text = kw(rng, "select");
+    if let Some((word, q)) = quant {
+        text.push(' ');
+        text.push_str(&kw(rng, word));
+        (plan, schema) = match q {
+            Quant::Possible => (possible(plan), schema),
+            Quant::Certain => (certain(plan), schema),
+            Quant::Conf => {
+                let mut cols = schema.columns().to_vec();
+                cols.push(maybms_core::Column::new("conf", ValueType::Float));
+                (conf(plan), Schema::new(cols).expect("conf column is fresh"))
+            }
+        };
+    }
+    text.push(' ');
+    text.push_str(&list_text);
+    text.push(' ');
+    text.push_str(&kw(rng, "from"));
+    text.push(' ');
+    text.push_str(&from_texts.join(", "));
+    if let Some((ftext, _)) = &filter {
+        text.push(' ');
+        text.push_str(&kw(rng, "where"));
+        text.push(' ');
+        text.push_str(ftext);
+    }
+    (text, plan, schema)
+}
+
+enum Quant {
+    Possible,
+    Certain,
+    Conf,
+}
+
+/// A from-item: a bare relation name, or a parenthesized subquery.
+fn gen_from_item(rng: &mut Rng, ws: &WorldSet, depth: usize) -> (String, Plan, Schema) {
+    if depth == 0 || rng.chance(0.5) {
+        let names: Vec<&String> = ws.relations.keys().collect();
+        let name = (*rng.pick(&names)).clone();
+        let schema = ws.relations[&name].schema().clone();
+        (name.clone(), Plan::scan(name), schema)
+    } else {
+        let (t, p, s) = gen_query_inner(rng, ws, depth - 1);
+        (format!("({t})"), p, s)
+    }
+}
+
+/// Names of the `int`-typed columns of a schema.
+fn int_columns(schema: &Schema) -> Vec<String> {
+    schema
+        .columns()
+        .iter()
+        .filter(|c| c.ty == ValueType::Int)
+        .map(|c| c.name.clone())
+        .collect()
 }
 
 /// Oracle: evaluate `plan` naively in every world, returning each world's

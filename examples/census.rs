@@ -1,17 +1,35 @@
-//! The paper's running example: ambiguous census forms.
+//! The paper's running example: ambiguous census forms, driven end-to-end
+//! through the MayQL front-end.
 //!
 //! Two census forms were scanned with uncertain social-security numbers:
 //! Smith's SSN reads as 185 or 785, Brown's as 185 or 186. Each *reading* of
-//! each form becomes a row of a certain relation, then `repair-key` on the
-//! form id turns the readings into alternative worlds. The example then asks
-//! the paper's signature questions: which answers are possible, which are
-//! certain, and with what confidence.
+//! each form becomes a row of a certain relation, then `REPAIR KEY name`
+//! turns the readings into alternative worlds. The example then asks the
+//! paper's signature questions — which answers are possible, which are
+//! certain, and with what confidence — each written as MayQL text, lowered
+//! by `maybms-sql`, and checked against the hand-built plan the example
+//! used before the front-end existed.
 //!
 //! Run with `cargo run --example census`.
 
 use maybms::algebra::{col, lit, run, Plan, Predicate};
 use maybms::core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
 use maybms::ql::{certain, conf, possible, repair_key};
+use maybms::sql::{compile, to_mayql, Catalog};
+
+/// Compile MayQL text and assert it lowers to exactly the given hand-built
+/// plan (compared through the canonical MayQL printing, which is injective
+/// on the plan shapes the planner emits).
+fn compile_checked(catalog: &Catalog, text: &str, hand_built: &Plan) -> Plan {
+    let plan = compile(catalog, text).unwrap_or_else(|e| panic!("{}", e.render(text)));
+    let printed = to_mayql(catalog, &plan).expect("lowered plan has a MayQL form");
+    let expected = to_mayql(catalog, hand_built).expect("hand-built plan has a MayQL form");
+    assert_eq!(
+        printed, expected,
+        "MayQL lowering diverged from the hand-built plan for: {text}"
+    );
+    plan
+}
 
 fn main() {
     // censusform(name, ssn, w): one row per plausible reading of a form,
@@ -40,55 +58,73 @@ fn main() {
     let mut ws = WorldSet::new();
     ws.insert("censusform", URelation::from_certain(&rel))
         .expect("certain relation is valid");
+    let catalog = Catalog::from_world_set(&ws);
 
-    // repair key name in censusform weight by w — one world per way of
+    // REPAIR KEY name IN censusform WEIGHT BY w — one world per way of
     // choosing a single reading per person. Materialize the result once so
     // every query below shares the same two components (re-evaluating the
     // repair plan would mint fresh, independent components each time).
-    let u = run(
-        &mut ws,
+    let repair_text = "REPAIR KEY name IN censusform WEIGHT BY w";
+    let repair_plan = compile_checked(
+        &catalog,
+        repair_text,
         &repair_key(Plan::scan("censusform"), &["name"], Some("w")),
-    )
-    .expect("repair-key evaluates");
-    println!("== u-relation after repair-key (4 worlds) ==");
+    );
+    let u = run(&mut ws, &repair_plan).expect("repair-key evaluates");
+    println!("== {repair_text} (4 worlds) ==");
     print!("{u}");
     ws.insert("census", u)
         .expect("repair-key descriptors are valid");
-    let repaired = Plan::scan("census");
+    let catalog = Catalog::from_world_set(&ws);
 
     // Q1: what are Smith's possible SSNs?
-    let smiths = repaired
-        .clone()
+    let q1 = "SELECT POSSIBLE ssn FROM census WHERE name = 'Smith'";
+    let smiths = Plan::scan("census")
         .select(Predicate::eq(col("name"), lit("Smith")))
-        .project(&["ssn"]);
-    let poss = run(&mut ws, &possible(smiths.clone())).expect("possible evaluates");
-    println!("\n== possible ssn where name = Smith ==");
+        .project(["ssn"]);
+    let plan = compile_checked(&catalog, q1, &possible(smiths.clone()));
+    let poss = run(&mut ws, &plan).expect("possible evaluates");
+    println!("\n== {q1} ==");
     print!("{poss}");
 
     // Q2: is any of them certain? (No: both readings survive.)
-    let cert = run(&mut ws, &certain(smiths)).expect("certain evaluates");
-    println!("\n== certain ssn where name = Smith ==");
+    let q2 = "SELECT CERTAIN ssn FROM census WHERE name = 'Smith'";
+    let plan = compile_checked(&catalog, q2, &certain(smiths));
+    let cert = run(&mut ws, &plan).expect("certain evaluates");
+    println!("\n== {q2} ==");
     print!("{cert}");
 
     // Q3: tuple confidences for every (name, ssn) claim.
-    let all =
-        run(&mut ws, &conf(repaired.clone().project(&["name", "ssn"]))).expect("conf evaluates");
-    println!("\n== conf of each (name, ssn) ==");
+    let q3 = "SELECT CONF name, ssn FROM census";
+    let plan = compile_checked(
+        &catalog,
+        q3,
+        &conf(Plan::scan("census").project(["name", "ssn"])),
+    );
+    let all = run(&mut ws, &plan).expect("conf evaluates");
+    println!("\n== {q3} ==");
     print!("{all}");
 
     // Q4: could two different people share an SSN? Self-join the repaired
-    // relation on ssn under two name roles and keep distinct pairs.
-    let left = repaired
-        .clone()
-        .project(&["name", "ssn"])
-        .rename(&[("name", "n1")]);
-    let right = repaired.project(&["name", "ssn"]).rename(&[("name", "n2")]);
-    let clash = left
-        .join(right)
-        .select(Predicate::lt(col("n1"), col("n2")))
-        .project(&["n1", "n2", "ssn"]);
-    let clash_conf = run(&mut ws, &conf(clash)).expect("conf evaluates");
-    println!("\n== conf that two people share an ssn ==");
+    // relation on ssn under two name roles and keep distinct ordered pairs.
+    let q4 = "SELECT CONF n1, n2, ssn \
+              FROM (SELECT name AS n1, ssn FROM census), \
+                   (SELECT name AS n2, ssn FROM census) \
+              WHERE n1 < n2";
+    let left = Plan::scan("census")
+        .project(["name", "ssn"])
+        .rename([("name", "n1")]);
+    let right = Plan::scan("census")
+        .project(["name", "ssn"])
+        .rename([("name", "n2")]);
+    let clash = conf(
+        left.join(right)
+            .select(Predicate::lt(col("n1"), col("n2")))
+            .project(["n1", "n2", "ssn"]),
+    );
+    let plan = compile_checked(&catalog, q4, &clash);
+    let clash_conf = run(&mut ws, &plan).expect("conf evaluates");
+    println!("\n== {q4} ==");
     print!("{clash_conf}");
 
     // The repaired census introduced two components (one per person); after

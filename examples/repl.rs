@@ -1,0 +1,224 @@
+//! The MayQL REPL: type queries against a world set, see u-relations.
+//!
+//! ```text
+//! cargo run --example repl                              # interactive
+//! cargo run --example repl -- --batch examples/census.mayql
+//! ```
+//!
+//! The session starts with the paper's `censusform` relation loaded (one row
+//! per plausible reading of a scanned census form, weighted by OCR
+//! confidence), so the census walkthrough works out of the box:
+//!
+//! ```text
+//! mayql> LET census = REPAIR KEY name IN censusform WEIGHT BY w;
+//! mayql> SELECT POSSIBLE ssn FROM census WHERE name = 'Smith';
+//! ```
+//!
+//! Statements end with `;`. `LET name = <query>;` evaluates a query once and
+//! registers the result as a new relation — the way to share one repair's
+//! components across several later queries. Meta commands: `\d` lists the
+//! relations, `\q` quits, `\help` shows the cheat sheet.
+//!
+//! In `--batch` mode the file is parsed as a script (`--` comments, `;`
+//! separators), each statement is echoed and executed, and the first error
+//! stops the run with a non-zero exit — which is how CI smoke-tests the
+//! front-end against `examples/census.mayql`.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use maybms::algebra::run;
+use maybms::core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
+use maybms::sql::lexer::{lex, TokenKind};
+use maybms::sql::{parse_script, parse_statement, Catalog, Statement};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut ws = demo_world();
+    match args.get(1).map(String::as_str) {
+        Some("--batch") => {
+            let Some(path) = args.get(2) else {
+                eprintln!("usage: repl [--batch <script.mayql>]");
+                return ExitCode::from(2);
+            };
+            batch(&mut ws, path)
+        }
+        Some(other) => {
+            eprintln!("unknown option `{other}`; usage: repl [--batch <script.mayql>]");
+            ExitCode::from(2)
+        }
+        None => interactive(&mut ws),
+    }
+}
+
+/// The paper's running example: one row per plausible reading of each
+/// scanned census form, weighted by how likely the OCR considers it.
+fn demo_world() -> WorldSet {
+    let schema = Schema::of(&[
+        ("name", ValueType::Str),
+        ("ssn", ValueType::Int),
+        ("w", ValueType::Int),
+    ])
+    .expect("distinct columns");
+    let readings = [
+        ("Smith", 185, 3),
+        ("Smith", 785, 1),
+        ("Brown", 185, 1),
+        ("Brown", 186, 1),
+    ];
+    let rel = Relation::from_rows(
+        schema,
+        readings
+            .iter()
+            .map(|&(n, s, w)| Tuple::new(vec![Value::str(n), s.into(), Value::Int(w)]))
+            .collect(),
+    )
+    .expect("rows match schema");
+    let mut ws = WorldSet::new();
+    ws.insert("censusform", URelation::from_certain(&rel))
+        .expect("certain relation is valid");
+    ws
+}
+
+fn batch(ws: &mut WorldSet, path: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repl: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let statements = match parse_script(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprint!("{}", e.render(&src));
+            return ExitCode::FAILURE;
+        }
+    };
+    for stmt in &statements {
+        let span = stmt.span();
+        println!("mayql> {};", &src[span.start..span.end]);
+        if let Err(msg) = execute(ws, stmt, &src) {
+            eprint!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn interactive(ws: &mut WorldSet) -> ExitCode {
+    println!("MayQL — type queries ending with `;`, \\help for help, \\q to quit.");
+    println!("Preloaded: censusform(name, ssn, w) — the paper's running example.");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        print!(
+            "{}",
+            if buffer.is_empty() {
+                "mayql> "
+            } else {
+                "   ... "
+            }
+        );
+        std::io::stdout().flush().expect("stdout is writable");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return ExitCode::SUCCESS, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("repl: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match trimmed {
+                "\\q" | "\\quit" => return ExitCode::SUCCESS,
+                "\\d" => describe(ws),
+                "\\help" | "\\h" => help(),
+                other => println!("unknown command `{other}`; try \\help"),
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        // Statements run once a `;` *token* arrives: the buffer is lexed,
+        // so trailing `--` comments and `;` inside string literals or
+        // comments don't confuse the boundary. A buffer the lexer rejects
+        // (e.g. an unterminated string) is submitted once the raw line
+        // ends with `;`, letting the parser surface the diagnostic.
+        let complete = match lex(&buffer) {
+            Ok(tokens) => tokens.len() >= 2 && tokens[tokens.len() - 2].kind == TokenKind::Semi,
+            Err(_) => trimmed.ends_with(';'),
+        };
+        if !complete {
+            continue;
+        }
+        let src = std::mem::take(&mut buffer);
+        match parse_statement(&src) {
+            Err(e) => eprint!("{}", e.render(&src)),
+            Ok(stmt) => {
+                if let Err(msg) = execute(ws, &stmt, &src) {
+                    eprint!("{msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Compile and run one statement, printing its result. A `LET` registers
+/// the result as a relation instead, so its components are shared by every
+/// later query that scans it. `src` is the statement's source text (for the
+/// batch mode, the whole script — spans index into it either way), so
+/// semantic errors render with the same caret diagnostics as parse errors.
+/// Runtime errors carry no span and print as a plain message.
+fn execute(ws: &mut WorldSet, stmt: &Statement, src: &str) -> Result<(), String> {
+    let catalog = Catalog::from_world_set(ws);
+    match stmt {
+        Statement::Query(query) => {
+            let plan = maybms::sql::lower(&catalog, query)
+                .map(|(plan, _)| plan)
+                .map_err(|e| e.render(src))?;
+            let result = run(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
+            print!("{result}");
+            println!("({} rows)", result.len());
+            Ok(())
+        }
+        Statement::Let { name, query, .. } => {
+            let plan = maybms::sql::lower(&catalog, query)
+                .map(|(plan, _)| plan)
+                .map_err(|e| e.render(src))?;
+            let result = run(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
+            let rows = result.len();
+            ws.insert(name.name.clone(), result)
+                .map_err(|e| format!("error: {e}\n"))?;
+            println!("relation `{}` materialized ({rows} rows)", name.name);
+            Ok(())
+        }
+    }
+}
+
+fn describe(ws: &WorldSet) {
+    for (name, rel) in &ws.relations {
+        let cols: Vec<String> = rel
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| format!("{} {}", c.name, c.ty))
+            .collect();
+        println!("{name}({}) — {} rows", cols.join(", "), rel.len());
+    }
+    println!("components in the world set: {}", ws.components.len());
+}
+
+fn help() {
+    println!(
+        "statements (end with `;`):\n  \
+         SELECT [POSSIBLE|CERTAIN|CONF] cols|* FROM items [WHERE pred] [UNION ...];\n  \
+         REPAIR KEY cols IN rel [WEIGHT BY col];\n  \
+         LET name = <query>;   -- materialize a result as a relation\n\
+         meta commands:\n  \
+         \\d      list relations and schemas\n  \
+         \\help   this help\n  \
+         \\q      quit"
+    );
+}
