@@ -1,77 +1,84 @@
 //! The WSD-level executor: evaluates plans on u-relations without expanding
 //! worlds.
 //!
-//! # The interned, zero-copy execution core
+//! # The columnar, selection-vector execution core
 //!
-//! Operators do not shuttle [`URelation`]s (which would deep-clone every
-//! tuple and every descriptor term vector at every step). Instead they
-//! evaluate on an internal [`IRel`]: rows are `(Cow<Tuple>, DescId)` pairs
-//! whose tuples *borrow* from the base relations until an operator actually
-//! constructs a new tuple, and whose descriptors are handles into a
-//! [`DescriptorPool`] shared across the whole run. Concretely:
+//! Operators do not shuttle row-oriented [`URelation`]s (which would
+//! deep-clone every tuple and every descriptor term vector at every step),
+//! nor per-row `(Cow<Tuple>, DescId)` pairs as earlier revisions did.
+//! Instead they evaluate on `Batch`es over the columnar form of
+//! `maybms-core`: one typed [`ColumnVec`] per attribute plus a dense
+//! [`DescId`] column, with an optional **selection vector** of row ids on
+//! top. Strings are dictionary codes into a run-global
+//! [`StrPool`] and descriptors are handles into a run-global
+//! [`DescriptorPool`] — both owned by the [`EvalCtx`] — so equality anywhere
+//! in the executor is an integer compare. Concretely:
 //!
-//! * **Scan** borrows the base relation's schema and tuples (`Cow::Borrowed`)
-//!   and interns its descriptors once per run (memoized per relation name) —
-//!   no deep clone of the relation.
-//! * **Select** and **Rename** are in-place: `Select` filters the row vector
-//!   it received (the predicate is bound to the schema once, not per row) and
-//!   `Rename` swaps the schema while moving the rows through untouched.
-//! * **NaturalJoin** hashes each build-side row's key values once, in place,
-//!   into a flat [`ChainedIndex`] (no per-bucket vectors, no materialized key
-//!   tuples), probes by hashing the left key in place and verifying candidate
-//!   pairs on the shared columns, and conjoins descriptors through the pool —
-//!   a merge of two interned term lists, with no allocation for the dominant
-//!   ≤ 2-term results.
-//! * **Union** reuses the left input's row allocation and reserves for the
-//!   right side's rows before extending.
-//! * **Dedup** (after project/join/union) is a hash-and-verify pass over a
-//!   [`ChainedIndex`] keyed on `(tuple values, descriptor terms)` — duplicate
-//!   rows collapse exactly as they would on owned descriptors, without a
-//!   comparison sort or re-allocated term vectors.
+//! * **Scan** borrows the pre-converted columnar relation (base relations
+//!   are converted once per run, up front) — no per-operator copies.
+//! * **Select** is a predicate *sweep*: the bound predicate is evaluated
+//!   cell-wise over the input's rows and emits a selection vector. No row
+//!   or column is materialized.
+//! * **Project** and **Rename** are column-pointer shuffles: projection
+//!   moves column references into the output order (set semantics enforced
+//!   by a selection-vector dedup), renaming swaps the schema.
+//! * **NaturalJoin** builds a flat `ChainedIndex` over the build side's
+//!   key columns (hashing cells in place — no key tuples), probes with the
+//!   left key cells, verifies candidates column-wise, conjoins descriptors
+//!   through the pool, and then materializes the output **column at a time**
+//!   with two gathers (left row ids, right row ids) — the only point where
+//!   data moves, and it moves as contiguous typed vectors.
+//! * **Union** concatenates column-wise (a dense `memcpy`-style extend when
+//!   no selection is pending) and dedups via a fresh selection vector.
+//! * **Dedup** (after project/join/union) hashes rows cell-wise into a
+//!   `ChainedIndex` and emits the selection vector of first occurrences —
+//!   it never rebuilds columns.
 //!
-//! Schemas are validated once per operator when the output schema is derived;
-//! rows constructed from schema-checked inputs are schema-correct by
-//! construction, so the per-row `Schema::check` of the old executor is gone
-//! from every hot loop. Extension operators (`repair-key`, `conf`, …) still
-//! exchange plain [`URelation`]s at their boundary: their inputs are
-//! materialized from the interned form and their results are moved (not
-//! cloned) back into it.
+//! Schemas are validated once per operator when the output schema is
+//! derived. Extension operators (`repair-key`, `conf`, …) now speak the
+//! columnar ABI too: [`crate::ext::ExtOperator::eval`] receives and returns
+//! [`ColumnarURelation`]s whose descriptors/strings live in the context's
+//! pools. Only the final result is converted back to a row-oriented
+//! [`URelation`], at the boundary of [`run`].
 
 use std::borrow::Cow;
-use std::collections::BTreeMap;
-use std::hash::{BuildHasher, Hash, Hasher};
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{BuildHasher, Hasher};
 use std::sync::Arc;
 
+use maybms_core::columnar::{ColumnVec, ColumnarURelation, StrPool};
 use maybms_core::{
-    ComponentSet, DescId, DescriptorPool, FxBuildHasher, FxHashMap, MayError, Schema, Tuple,
+    ComponentSet, DescId, DescriptorPool, FxBuildHasher, FxHashMap, MayError, PoolStats, Schema,
     URelation, WorldSet,
 };
 
 use crate::plan::Plan;
 
-/// Evaluation context handed to operators: the base relations (read-only)
-/// and the component set (mutable, so extension operators like `repair-key`
-/// can mint new components).
+/// Evaluation context handed to operators: the base relations (read-only),
+/// the component set (mutable, so extension operators like `repair-key` can
+/// mint new components), and the run's interning pools.
 pub struct EvalCtx<'a> {
     /// The base u-relations, by name.
     pub relations: &'a BTreeMap<String, URelation>,
     /// The components of the world set.
     pub components: &'a mut ComponentSet,
+    /// The run's descriptor interner. Every [`DescId`] flowing through the
+    /// executor — including those inside extension-operator inputs and
+    /// results — resolves against this pool.
+    pub pool: DescriptorPool,
+    /// The run's string dictionary. Every string cell of every columnar
+    /// relation in the run is a code into this pool.
+    pub strings: StrPool,
     /// Memoized results of extension operators, keyed by `Arc` identity.
     /// A shared (cloned) `repair-key` subtree must evaluate *once* per run:
     /// re-running it would mint fresh components for each occurrence and
     /// silently decorrelate what the plan author shares deliberately.
-    ext_cache: FxHashMap<usize, URelation>,
-    /// The run's descriptor interner (see the module docs).
-    pool: DescriptorPool,
-    /// Interned descriptor columns of already-scanned base relations, so a
-    /// relation scanned several times is interned once.
-    scan_cache: FxHashMap<String, Vec<DescId>>,
+    ext_cache: FxHashMap<usize, ColumnarURelation>,
 }
 
 impl<'a> EvalCtx<'a> {
-    /// Build a fresh context (with an empty extension-operator memo and a
-    /// fresh descriptor pool).
+    /// Build a fresh context (with an empty extension-operator memo and
+    /// fresh interning pools).
     pub fn new(
         relations: &'a BTreeMap<String, URelation>,
         components: &'a mut ComponentSet,
@@ -79,15 +86,34 @@ impl<'a> EvalCtx<'a> {
         EvalCtx {
             relations,
             components,
-            ext_cache: FxHashMap::default(),
             pool: DescriptorPool::new(),
-            scan_cache: FxHashMap::default(),
+            strings: StrPool::new(),
+            ext_cache: FxHashMap::default(),
         }
     }
 }
 
-/// A flat chained-bucket hash index over row indices: `heads[bucket]` points
-/// at the most recent row in the bucket and `next[row]` chains to the
+/// Observability snapshot of one executor run, surfaced by
+/// [`run_with_stats`] (and the REPL's `\stats` meta-command). The descriptor
+/// counters validate that representation changes keep interning behavior
+/// intact — e.g. a refactor that accidentally stopped sharing scan
+/// descriptors would show up as a hit-rate collapse.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Distinct descriptors in the run's pool (occupancy, ≥ 1).
+    pub descriptors: usize,
+    /// Pool entries that spilled past the inline-term capacity.
+    pub descriptors_spilled: usize,
+    /// Intern/conjoin counters of the descriptor pool.
+    pub pool: PoolStats,
+    /// Distinct strings in the run's dictionary.
+    pub strings: usize,
+    /// Rows in the final result.
+    pub output_rows: usize,
+}
+
+/// A flat chained-bucket hash index over row slots: `heads[bucket]` points
+/// at the most recent slot in the bucket and `next[slot]` chains to the
 /// previous one (both offset by one, `0` meaning "end"). Unlike a
 /// `HashMap<Key, Vec<u32>>` it allocates exactly two `u32` arrays for any
 /// number of rows — no per-bucket vectors, no key materialization — which is
@@ -109,7 +135,7 @@ impl ChainedIndex {
         }
     }
 
-    /// Insert row `i` under `hash`. `i` must be below the build capacity and
+    /// Insert slot `i` under `hash`. `i` must be below the build capacity and
     /// inserted at most once.
     #[inline]
     fn insert(&mut self, hash: u64, i: usize) {
@@ -118,7 +144,7 @@ impl ChainedIndex {
         self.heads[b] = i as u32 + 1;
     }
 
-    /// Iterate the row indices stored under `hash` (most recent first).
+    /// Iterate the slots stored under `hash` (most recent first).
     #[inline]
     fn probe(&self, hash: u64) -> ChainIter<'_> {
         ChainIter {
@@ -148,78 +174,152 @@ impl Iterator for ChainIter<'_> {
     }
 }
 
-/// Hash one row: the tuple's values plus the descriptor's *terms* (handles
-/// from `conjoin` are not canonical, so the hash must be over descriptor
-/// content, not the handle).
-#[inline]
-fn row_hash(t: &Tuple, d: DescId, pool: &DescriptorPool) -> u64 {
-    let mut h = FxBuildHasher::default().build_hasher();
-    for v in t.values() {
-        v.hash(&mut h);
+/// Iterator over a batch's live row ids: a dense range, or the selection
+/// vector when one is pending.
+enum RowIds<'s> {
+    Dense(std::ops::Range<u32>),
+    Sel(std::slice::Iter<'s, u32>),
+}
+
+impl Iterator for RowIds<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            RowIds::Dense(r) => r.next(),
+            RowIds::Sel(it) => it.next().copied(),
+        }
     }
-    pool.terms(d).hash(&mut h);
-    h.finish()
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            RowIds::Dense(r) => r.size_hint(),
+            RowIds::Sel(it) => it.size_hint(),
+        }
+    }
 }
 
-/// An interned relation: the executor's internal row format. Tuples borrow
-/// from the base relations until an operator constructs new ones; descriptors
-/// are handles into the run's [`DescriptorPool`].
-struct IRel<'a> {
-    schema: Cow<'a, Schema>,
-    rows: Vec<(Cow<'a, Tuple>, DescId)>,
+/// The executor's unit of data flow: columnar storage (borrowed from the
+/// per-run scan conversions until an operator materializes new columns)
+/// plus an optional selection vector restricting which rows are live.
+struct Batch<'s> {
+    schema: Cow<'s, Schema>,
+    cols: Vec<Cow<'s, ColumnVec>>,
+    descs: Cow<'s, [DescId]>,
+    /// Live row ids, in output order. `None` means all rows `0..descs.len()`.
+    sel: Option<Vec<u32>>,
 }
 
-impl<'a> IRel<'a> {
+impl<'s> Batch<'s> {
+    /// Borrow a converted base relation (the Scan fast path).
+    fn from_ref(rel: &'s ColumnarURelation) -> Batch<'s> {
+        Batch {
+            schema: Cow::Borrowed(rel.schema()),
+            cols: rel.columns().iter().map(Cow::Borrowed).collect(),
+            descs: Cow::Borrowed(rel.descs()),
+            sel: None,
+        }
+    }
+
+    /// Take ownership of an extension operator's (or cached) result.
+    fn from_owned(rel: ColumnarURelation) -> Batch<'s> {
+        let (schema, cols, descs) = rel.into_parts();
+        Batch {
+            schema: Cow::Owned(schema),
+            cols: cols.into_iter().map(Cow::Owned).collect(),
+            descs: Cow::Owned(descs),
+            sel: None,
+        }
+    }
+
+    /// Number of live rows.
+    fn len(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.descs.len(),
+        }
+    }
+
+    /// The live row ids, in output order.
+    fn row_ids(&self) -> RowIds<'_> {
+        match &self.sel {
+            Some(s) => RowIds::Sel(s.iter()),
+            None => RowIds::Dense(0..self.descs.len() as u32),
+        }
+    }
+
+    /// Hash the cells and descriptor terms of one row (descriptor *content*,
+    /// not handle — handles minted by `conjoin` are not canonical).
+    #[inline]
+    fn row_hash(&self, i: u32, pool: &DescriptorPool) -> u64 {
+        let mut h = FxBuildHasher::default().build_hasher();
+        for c in &self.cols {
+            c.hash_cell(i as usize, &mut h);
+        }
+        for &(c, a) in pool.terms(self.descs[i as usize]) {
+            h.write_u32(c.0);
+            h.write_u16(a);
+        }
+        h.finish()
+    }
+
+    /// Whether two rows carry equal cells and equal descriptors.
+    #[inline]
+    fn rows_eq(&self, a: u32, b: u32, pool: &DescriptorPool) -> bool {
+        pool.same_descriptor(self.descs[a as usize], self.descs[b as usize])
+            && self
+                .cols
+                .iter()
+                .all(|c| c.eq_cells(a as usize, c.as_ref(), b as usize))
+    }
+
     /// Drop duplicate `(tuple, descriptor)` rows, keeping first occurrences
-    /// in order. A hash-and-verify pass over a [`ChainedIndex`] instead of a
-    /// comparison sort of owned descriptor vectors: candidates that collide
-    /// on the row hash are verified by tuple equality plus
-    /// [`DescriptorPool::same_descriptor`] (an integer compare for canonical
-    /// handles, a term-slice compare for conjunction-minted ones).
+    /// in order — by *shrinking the selection vector*, never touching the
+    /// columns. A hash-and-verify pass over a [`ChainedIndex`]: candidates
+    /// that collide on the row hash are verified cell-wise plus
+    /// [`DescriptorPool::same_descriptor`].
     fn dedup(&mut self, pool: &DescriptorPool) {
-        let n = self.rows.len();
+        let n = self.len();
         if n < 2 {
             return;
         }
         let mut index = ChainedIndex::with_capacity(n);
-        let mut kept: Vec<(Cow<'a, Tuple>, DescId)> = Vec::with_capacity(n);
-        for (t, d) in self.rows.drain(..) {
-            let h = row_hash(&t, d, pool);
-            let dup = index
-                .probe(h)
-                .any(|j| pool.same_descriptor(kept[j].1, d) && *kept[j].0 == *t);
+        let mut kept: Vec<u32> = Vec::with_capacity(n);
+        for i in self.row_ids() {
+            let h = self.row_hash(i, pool);
+            let dup = index.probe(h).any(|k| self.rows_eq(kept[k], i, pool));
             if !dup {
                 index.insert(h, kept.len());
-                kept.push((t, d));
+                kept.push(i);
             }
         }
-        self.rows = kept;
+        self.sel = Some(kept);
     }
 
-    /// Materialize as a plain [`URelation`], resolving handles back to owned
-    /// descriptors. Borrowed tuples are cloned here — once, at the boundary —
-    /// and owned tuples are moved.
-    fn into_urelation(self, pool: &DescriptorPool) -> URelation {
-        let rows = self
-            .rows
-            .into_iter()
-            .map(|(t, d)| (t.into_owned(), pool.to_descriptor(d)))
-            .collect();
-        URelation::from_rows_unchecked(self.schema.into_owned(), rows)
-    }
-
-    /// Take ownership of an extension operator's result, interning its
-    /// descriptors and moving (not cloning) its tuples.
-    fn from_urelation(u: URelation, pool: &mut DescriptorPool) -> IRel<'a> {
-        let (schema, rows) = u.into_parts();
-        let rows = rows
-            .into_iter()
-            .map(|(t, d)| (Cow::Owned(t), pool.intern(&d)))
-            .collect();
-        IRel {
-            schema: Cow::Owned(schema),
-            rows,
+    /// Apply the selection vector, yielding dense owned columns and
+    /// descriptors. When no selection is pending, borrowed columns are
+    /// cloned (a contiguous `memcpy` per column) and owned ones move.
+    fn into_dense_parts(self) -> (Cow<'s, Schema>, Vec<ColumnVec>, Vec<DescId>) {
+        match self.sel {
+            None => (
+                self.schema,
+                self.cols.into_iter().map(Cow::into_owned).collect(),
+                self.descs.into_owned(),
+            ),
+            Some(sel) => (
+                self.schema,
+                self.cols.iter().map(|c| c.gather(&sel)).collect(),
+                sel.iter().map(|&i| self.descs[i as usize]).collect(),
+            ),
         }
+    }
+
+    /// Materialize as a standalone columnar relation (descriptors and string
+    /// codes stay relative to the run's pools).
+    fn into_columnar(self) -> ColumnarURelation {
+        let (schema, cols, descs) = self.into_dense_parts();
+        ColumnarURelation::from_parts(schema.into_owned(), cols, descs)
     }
 }
 
@@ -233,144 +333,226 @@ impl<'a> IRel<'a> {
 /// independent repairs — sharing is by `Arc` identity, which is what plan
 /// `clone()` preserves.
 pub fn run(ws: &mut WorldSet, plan: &Plan) -> Result<URelation, MayError> {
+    run_with_stats(ws, plan).map(|(result, _)| result)
+}
+
+/// Like [`run`], additionally reporting the run's [`ExecStats`].
+pub fn run_with_stats(ws: &mut WorldSet, plan: &Plan) -> Result<(URelation, ExecStats), MayError> {
     let WorldSet {
         components,
         relations,
     } = ws;
     let mut ctx = EvalCtx::new(relations, components);
-    eval(plan, &mut ctx)
+    // Convert every scanned base relation to columnar form once, up front.
+    // The conversions live outside the context so batches can borrow them
+    // while operators keep mutable access to the pools.
+    let mut names = BTreeSet::new();
+    collect_scans(plan, &mut names);
+    let mut scans: BTreeMap<String, ColumnarURelation> = BTreeMap::new();
+    for name in names {
+        let rel = ctx
+            .relations
+            .get(name)
+            .ok_or_else(|| MayError::UnknownRelation(name.to_string()))?;
+        scans.insert(
+            name.to_string(),
+            ColumnarURelation::from_urelation(rel, &mut ctx.pool, &mut ctx.strings),
+        );
+    }
+    let batch = eval_batch(plan, &scans, &mut ctx)?;
+    let result = batch.into_columnar().to_urelation(&ctx.pool, &ctx.strings);
+    let stats = ExecStats {
+        descriptors: ctx.pool.len(),
+        descriptors_spilled: ctx.pool.spilled(),
+        pool: ctx.pool.stats(),
+        strings: ctx.strings.len(),
+        output_rows: result.len(),
+    };
+    Ok((result, stats))
 }
 
-/// Evaluate a plan in a context, materializing the interned result as a
-/// plain [`URelation`] at the boundary. See the module docs for why each
-/// operator is sound on the compact representation.
-pub fn eval(plan: &Plan, ctx: &mut EvalCtx<'_>) -> Result<URelation, MayError> {
-    let rel = eval_interned(plan, ctx)?;
-    Ok(rel.into_urelation(&ctx.pool))
-}
-
-/// The interned evaluator proper. The returned rows may borrow tuples from
-/// `ctx.relations` (lifetime `'a`), never from `ctx` itself — `ctx` stays
-/// freely borrowable for the next operator.
-fn eval_interned<'a>(plan: &Plan, ctx: &mut EvalCtx<'a>) -> Result<IRel<'a>, MayError> {
+/// Collect the names of every base relation a plan (including extension
+/// subtrees) scans.
+fn collect_scans<'p>(plan: &'p Plan, names: &mut BTreeSet<&'p str>) {
     match plan {
         Plan::Scan(name) => {
-            let relations: &'a BTreeMap<String, URelation> = ctx.relations;
-            let rel = relations
+            names.insert(name);
+        }
+        Plan::Select { input, .. } | Plan::Project { input, .. } | Plan::Rename { input, .. } => {
+            collect_scans(input, names)
+        }
+        Plan::NaturalJoin { left, right } | Plan::Union { left, right } => {
+            collect_scans(left, names);
+            collect_scans(right, names);
+        }
+        Plan::Ext(op) => {
+            for input in op.inputs() {
+                collect_scans(input, names);
+            }
+        }
+    }
+}
+
+/// The batch evaluator proper. Returned batches may borrow columns from
+/// `scans` (lifetime `'s`), never from `ctx` itself — `ctx` stays freely
+/// borrowable for the next operator. See the module docs for why each
+/// operator is sound on the compact representation.
+fn eval_batch<'s>(
+    plan: &Plan,
+    scans: &'s BTreeMap<String, ColumnarURelation>,
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Batch<'s>, MayError> {
+    match plan {
+        Plan::Scan(name) => {
+            let rel = scans
                 .get(name)
                 .ok_or_else(|| MayError::UnknownRelation(name.clone()))?;
-            if !ctx.scan_cache.contains_key(name) {
-                let ids: Vec<DescId> = rel.rows().iter().map(|(_, d)| ctx.pool.intern(d)).collect();
-                ctx.scan_cache.insert(name.clone(), ids);
-            }
-            let ids = &ctx.scan_cache[name];
-            let rows = rel
-                .rows()
-                .iter()
-                .zip(ids)
-                .map(|((t, _), &id)| (Cow::Borrowed(t), id))
-                .collect();
-            Ok(IRel {
-                schema: Cow::Borrowed(rel.schema()),
-                rows,
-            })
+            Ok(Batch::from_ref(rel))
         }
         Plan::Select { input, predicate } => {
-            let mut r = eval_interned(input, ctx)?;
-            // Bound once per relation; per row only `matches` runs.
-            let bound = predicate.bind(&r.schema)?;
-            r.rows.retain(|(t, _)| bound.matches(t));
-            Ok(r)
+            let mut b = eval_batch(input, scans, ctx)?;
+            // Bound once per relation; the sweep below reads cells in place.
+            let bound = predicate.bind(&b.schema)?;
+            let col_refs: Vec<&ColumnVec> = b.cols.iter().map(Cow::as_ref).collect();
+            let sel: Vec<u32> = b
+                .row_ids()
+                .filter(|&i| bound.matches_cols(&col_refs, i as usize, &ctx.strings))
+                .collect();
+            drop(col_refs);
+            b.sel = Some(sel);
+            Ok(b)
         }
         Plan::Project { input, columns } => {
-            let r = eval_interned(input, ctx)?;
-            let (schema, idx) = r.schema.project(columns)?;
-            let rows = r
-                .rows
+            let b = eval_batch(input, scans, ctx)?;
+            let (schema, idx) = b.schema.project(columns)?;
+            // A pure column-pointer shuffle: each output column *moves* the
+            // input's reference (projection indices are unique, so every
+            // source column is taken at most once — no data is copied).
+            let mut taken: Vec<Option<Cow<'s, ColumnVec>>> = b.cols.into_iter().map(Some).collect();
+            let cols = idx
                 .iter()
-                .map(|(t, d)| (Cow::Owned(t.project(&idx)), *d))
+                .map(|&i| taken[i].take().expect("projection indices are unique"))
                 .collect();
-            let mut out = IRel {
+            let mut out = Batch {
                 schema: Cow::Owned(schema),
-                rows,
+                cols,
+                descs: b.descs,
+                sel: b.sel,
             };
             out.dedup(&ctx.pool);
             Ok(out)
         }
         Plan::NaturalJoin { left, right } => {
-            let l = eval_interned(left, ctx)?;
-            let r = eval_interned(right, ctx)?;
+            let l = eval_batch(left, scans, ctx)?;
+            let r = eval_batch(right, scans, ctx)?;
             let jp = l.schema.natural_join(&r.schema)?;
-            // Hash join, build on the right side. Rows are bucketed in a
-            // [`ChainedIndex`] by a *hash* of their key values (computed in
-            // place, once per row — no key vector is ever materialized) and
-            // candidate pairs are verified with `JoinPlan::tuples_match`, so
-            // neither build nor probe allocates anything per row.
             let hasher = FxBuildHasher::default();
-            let key_hash = |t: &Tuple, side: fn(&(usize, usize)) -> usize| {
+            let key_hash = |b: &Batch<'_>, row: u32, side: fn(&(usize, usize)) -> usize| {
                 let mut h = hasher.build_hasher();
                 for s in &jp.shared {
-                    t.values()[side(s)].hash(&mut h);
+                    b.cols[side(s)].hash_cell(row as usize, &mut h);
                 }
                 h.finish()
             };
-            let mut built = ChainedIndex::with_capacity(r.rows.len());
-            for (i, (t, _)) in r.rows.iter().enumerate() {
-                built.insert(key_hash(t, |&(_, ri)| ri), i);
+            // Build on the right side: bucket each live right row by the
+            // hash of its key cells (computed in place — no key vector is
+            // ever materialized).
+            let r_rows: Vec<u32> = r.row_ids().collect();
+            let mut built = ChainedIndex::with_capacity(r_rows.len());
+            for (slot, &ri) in r_rows.iter().enumerate() {
+                built.insert(key_hash(&r, ri, |&(_, rc)| rc), slot);
             }
-            let mut rows: Vec<(Cow<'a, Tuple>, DescId)> = Vec::with_capacity(l.rows.len());
-            for (lt, ld) in &l.rows {
-                for i in built.probe(key_hash(lt, |&(li, _)| li)) {
-                    let (rt, rd) = &r.rows[i];
-                    if !jp.tuples_match(lt, rt) {
+            // Probe with the left key cells; verify candidates column-wise.
+            // Matches are collected as (left row, right row, descriptor)
+            // and the output columns are materialized afterwards, column at
+            // a time, by two vectorized gathers.
+            let mut l_idx: Vec<u32> = Vec::new();
+            let mut r_idx: Vec<u32> = Vec::new();
+            let mut descs: Vec<DescId> = Vec::new();
+            for li in l.row_ids() {
+                for slot in built.probe(key_hash(&l, li, |&(lc, _)| lc)) {
+                    let ri = r_rows[slot];
+                    let keys_match = jp.shared.iter().all(|&(lc, rc)| {
+                        l.cols[lc].eq_cells(li as usize, &r.cols[rc], ri as usize)
+                    });
+                    if !keys_match {
                         continue; // hash collision, not an equi-match
                     }
                     // A joined tuple exists only in worlds where both
                     // inputs exist: the conjunction of the descriptors.
                     // Inconsistent descriptors denote no worlds — drop.
-                    if let Some(d) = ctx.pool.conjoin(*ld, *rd) {
-                        rows.push((Cow::Owned(jp.combine(lt, rt)), d));
+                    if let Some(d) = ctx.pool.conjoin(l.descs[li as usize], r.descs[ri as usize]) {
+                        l_idx.push(li);
+                        r_idx.push(ri);
+                        descs.push(d);
                     }
                 }
             }
-            let mut out = IRel {
+            let mut cols: Vec<Cow<'s, ColumnVec>> = Vec::with_capacity(jp.schema.arity());
+            for c in &l.cols {
+                cols.push(Cow::Owned(c.gather(&l_idx)));
+            }
+            for &rc in &jp.right_keep {
+                cols.push(Cow::Owned(r.cols[rc].gather(&r_idx)));
+            }
+            let mut out = Batch {
                 schema: Cow::Owned(jp.schema),
-                rows,
+                cols,
+                descs: Cow::Owned(descs),
+                sel: None,
             };
             out.dedup(&ctx.pool);
             Ok(out)
         }
         Plan::Union { left, right } => {
-            let mut l = eval_interned(left, ctx)?;
-            let r = eval_interned(right, ctx)?;
+            let l = eval_batch(left, scans, ctx)?;
+            let r = eval_batch(right, scans, ctx)?;
             l.schema.union_compatible(&r.schema)?;
-            // Reuse the left side's allocation; reserve for the right side's
-            // rows up front instead of growing inside the extend.
-            l.rows.reserve(r.rows.len());
-            l.rows.extend(r.rows);
-            l.dedup(&ctx.pool);
-            Ok(l)
+            // Concatenate column-wise: densify the left side (moves owned
+            // columns, memcpys borrowed ones), then append the right side's
+            // live rows per column.
+            let (schema, mut cols, mut descs) = l.into_dense_parts();
+            match &r.sel {
+                Some(sel) => {
+                    for (c, rc) in cols.iter_mut().zip(&r.cols) {
+                        c.extend_gather(rc, sel);
+                    }
+                    descs.extend(sel.iter().map(|&i| r.descs[i as usize]));
+                }
+                None => {
+                    for (c, rc) in cols.iter_mut().zip(&r.cols) {
+                        c.extend_all(rc);
+                    }
+                    descs.extend_from_slice(&r.descs);
+                }
+            }
+            let mut out = Batch {
+                schema,
+                cols: cols.into_iter().map(Cow::Owned).collect(),
+                descs: Cow::Owned(descs),
+                sel: None,
+            };
+            out.dedup(&ctx.pool);
+            Ok(out)
         }
         Plan::Rename { input, renames } => {
-            let mut r = eval_interned(input, ctx)?;
-            // Only the schema changes; the rows move through untouched.
-            r.schema = Cow::Owned(r.schema.rename(renames)?);
-            Ok(r)
+            let mut b = eval_batch(input, scans, ctx)?;
+            // Only the schema changes; columns and selection move through.
+            b.schema = Cow::Owned(b.schema.rename(renames)?);
+            Ok(b)
         }
         Plan::Ext(op) => {
             let key = Arc::as_ptr(op) as *const () as usize;
             if let Some(cached) = ctx.ext_cache.get(&key) {
-                let cached = cached.clone();
-                return Ok(IRel::from_urelation(cached, &mut ctx.pool));
+                return Ok(Batch::from_owned(cached.clone()));
             }
-            let inputs = op
-                .inputs()
-                .into_iter()
-                .map(|p| eval(p, ctx))
-                .collect::<Result<Vec<_>, _>>()?;
+            let mut inputs = Vec::new();
+            for p in op.inputs() {
+                inputs.push(eval_batch(p, scans, ctx)?.into_columnar());
+            }
             let result = op.eval(ctx, inputs)?;
             ctx.ext_cache.insert(key, result.clone());
-            Ok(IRel::from_urelation(result, &mut ctx.pool))
+            Ok(Batch::from_owned(result))
         }
     }
 }

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use maybms_core::{MayError, Schema, URelation};
+use maybms_core::columnar::ColumnarURelation;
+use maybms_core::{MayError, Schema};
 
 use crate::eval::EvalCtx;
 use crate::plan::Plan;
@@ -13,6 +14,18 @@ use crate::plan::Plan;
 /// evaluation context, which gives mutable access to the component set —
 /// that is what lets `repair-key` *introduce* new components (uncertainty)
 /// and lets `certain`/`conf` consult component probabilities.
+///
+/// # The columnar ABI
+///
+/// Inputs and results are [`ColumnarURelation`]s: one typed column vector
+/// per attribute plus the dense descriptor column. Their [`maybms_core::DescId`]
+/// handles resolve against `ctx.pool` and their string cells against
+/// `ctx.strings` — implementations intern through those pools when minting
+/// descriptors or strings, and must not assume handles are canonical for
+/// rows produced by joins (use `ctx.pool.same_descriptor` / term access for
+/// content comparisons). Row order of the result is part of the operator's
+/// contract: it must be deterministic for equal inputs, because component
+/// minting (e.g. by `repair-key`) follows it.
 pub trait ExtOperator: fmt::Debug + Send + Sync {
     /// Operator name, for diagnostics.
     fn name(&self) -> &'static str;
@@ -47,6 +60,11 @@ pub trait ExtOperator: fmt::Debug + Send + Sync {
     /// schema inference).
     fn output_schema(&self, inputs: &[Schema]) -> Result<Schema, MayError>;
 
-    /// Evaluate on the WSD representation.
-    fn eval(&self, ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError>;
+    /// Evaluate on the columnar WSD representation (see the trait docs for
+    /// the ABI).
+    fn eval(
+        &self,
+        ctx: &mut EvalCtx<'_>,
+        inputs: Vec<ColumnarURelation>,
+    ) -> Result<ColumnarURelation, MayError>;
 }

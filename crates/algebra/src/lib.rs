@@ -16,9 +16,14 @@
 //! differentially against the enumerate-all-worlds oracle for randomized
 //! databases and plans.
 //!
+//! The executor is **columnar and vectorized**: plans evaluate on batches of
+//! typed column vectors with selection vectors on top (see [`eval`]'s module
+//! docs for the operator contract), converting to the row-oriented
+//! representation only at the boundary of [`eval::run`].
+//!
 //! The IR is open: [`ext::ExtOperator`] lets higher layers add operators with
-//! access to the component set. `maybms-ql` uses it for `repair-key`,
-//! `possible`, `certain`, and `conf`.
+//! access to the component set (the extension ABI is columnar too).
+//! `maybms-ql` uses it for `repair-key`, `possible`, `certain`, and `conf`.
 //!
 //! [`naive`] evaluates the same plans with the textbook single-world
 //! algebra, which is what the differential tests run inside each enumerated
@@ -30,7 +35,7 @@ pub mod naive;
 pub mod plan;
 pub mod predicate;
 
-pub use eval::{eval, infer_schema, run, EvalCtx};
+pub use eval::{infer_schema, run, run_with_stats, EvalCtx, ExecStats};
 pub use ext::ExtOperator;
 pub use plan::Plan;
 pub use predicate::{col, lit, CmpOp, Operand, Predicate};

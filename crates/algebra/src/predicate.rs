@@ -1,7 +1,9 @@
-//! Selection predicates over tuples.
+//! Selection predicates over tuples and columnar batches.
 
+use std::cmp::Ordering;
 use std::fmt;
 
+use maybms_core::columnar::{ColumnVec, StrPool};
 use maybms_core::{MayError, Schema, Tuple, Value};
 
 /// A comparison operator.
@@ -44,6 +46,20 @@ impl CmpOp {
             CmpOp::Le => l <= r,
             CmpOp::Gt => l > r,
             CmpOp::Ge => l >= r,
+        }
+    }
+
+    /// Whether the comparison holds for operands whose three-way ordering is
+    /// `ord` — the columnar counterpart of [`CmpOp::test`] ([`Value`]'s `Eq`
+    /// and `Ord` agree, so one `Ordering` decides every operator).
+    fn holds(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
         }
     }
 }
@@ -264,6 +280,35 @@ impl BoundPredicate {
             BoundPredicate::And(ps) => ps.iter().all(|p| p.matches(t)),
             BoundPredicate::Or(ps) => ps.iter().any(|p| p.matches(t)),
             BoundPredicate::Not(p) => !p.matches(t),
+        }
+    }
+
+    /// Evaluate against row `row` of a columnar batch (`cols` in schema
+    /// order) — no tuple is materialized; each comparison reads two cells in
+    /// place. Semantically identical to [`BoundPredicate::matches`] on the
+    /// row's tuple: cell comparisons implement the same total [`Value`]
+    /// order, including the variant-rank ordering of mixed-type operands.
+    pub fn matches_cols(&self, cols: &[&ColumnVec], row: usize, strings: &StrPool) -> bool {
+        match self {
+            BoundPredicate::True => true,
+            BoundPredicate::Compare { op, lhs, rhs } => {
+                let ord = match (lhs, rhs) {
+                    (BoundOperand::Index(i), BoundOperand::Index(j)) => {
+                        cols[*i].cmp_cells(row, cols[*j], row, strings)
+                    }
+                    (BoundOperand::Index(i), BoundOperand::Literal(v)) => {
+                        cols[*i].cmp_cell_value(row, v, strings)
+                    }
+                    (BoundOperand::Literal(v), BoundOperand::Index(j)) => {
+                        cols[*j].cmp_cell_value(row, v, strings).reverse()
+                    }
+                    (BoundOperand::Literal(a), BoundOperand::Literal(b)) => a.cmp(b),
+                };
+                op.holds(ord)
+            }
+            BoundPredicate::And(ps) => ps.iter().all(|p| p.matches_cols(cols, row, strings)),
+            BoundPredicate::Or(ps) => ps.iter().any(|p| p.matches_cols(cols, row, strings)),
+            BoundPredicate::Not(p) => !p.matches_cols(cols, row, strings),
         }
     }
 }

@@ -11,10 +11,10 @@
 
 use std::time::Instant;
 
-use maybms_algebra::{run, Plan};
+use maybms_algebra::{col, lit, run, Plan, Predicate};
 use maybms_bench::{
-    conf_chain_workload, conf_disjoint_workload, join_workload, normalization_workload,
-    repair_workload,
+    conf_chain_workload, conf_disjoint_workload, join_columnar_workload, join_workload,
+    normalization_workload, repair_workload,
 };
 use maybms_core::rng::Rng;
 use maybms_core::WorldSet;
@@ -51,8 +51,16 @@ fn main() {
     };
     // `conf` sizes count *tuples*; each tuple gets its own component groups.
     let conf_sizes: &[usize] = if quick { &[1_000] } else { &[1_000, 10_000] };
+    // Normalization additionally runs at 10⁶ — in quick mode too, so the CI
+    // regression gate covers the columnar path at the scale where the
+    // columnar sort and the memoized stripping actually carry the load.
+    let norm_sizes: &[usize] = if quick {
+        &[1_000, 10_000, 1_000_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
 
-    for &n in sizes {
+    for &n in norm_sizes {
         let ws = normalization_workload(&mut Rng::new(0xBE7C), n);
         let (rows, ms) = bench_min(&ws, |ws| {
             ws.normalize();
@@ -70,6 +78,21 @@ fn main() {
             run(ws, &plan).expect("join workload is well-typed").len()
         });
         emit("join3", n, rows, ms);
+    }
+
+    // The columnar-specific join shape: a selection sweep on `r1` feeding a
+    // string-keyed hop (`b`) and an int-keyed hop (`c`) — dictionary-coded
+    // string equality and the selection-vector machinery under load.
+    for &n in sizes {
+        let ws = join_columnar_workload(&mut Rng::new(0xC01A), n);
+        let plan = Plan::scan("r1")
+            .select(Predicate::lt(col("a"), lit((n / 2) as i64)))
+            .join(Plan::scan("r2"))
+            .join(Plan::scan("r3"));
+        let (rows, ms) = bench_min(&ws, |ws| {
+            run(ws, &plan).expect("join workload is well-typed").len()
+        });
+        emit("join3_columnar", n, rows, ms);
     }
 
     // The same 3-way join driven through the MayQL front-end: parse,

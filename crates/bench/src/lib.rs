@@ -190,6 +190,46 @@ pub fn repair_workload(rng: &mut Rng, n: usize) -> WorldSet {
     ws
 }
 
+/// Build a world set exercising the columnar executor's string dictionary
+/// and selection sweep: three chained relations `r1(a, b)`, `r2(b, c)`,
+/// `r3(c, d)` of `n` uncertain rows each, where the `b` and `d` columns are
+/// *strings* (drawn from a domain of `n` distinct values, so one join hop
+/// matches on dictionary codes) and `a`/`c` are ints. The intended plan
+/// filters `r1` on `a` before joining, so the workload covers: predicate
+/// sweep → selection vector, string-keyed hash join, int-keyed hash join,
+/// and selection-vector dedup — the paths `join3` (all-int, no filter)
+/// leaves cold.
+pub fn join_columnar_workload(rng: &mut Rng, n: usize) -> WorldSet {
+    let mut ws = WorldSet::new();
+    let n_comps = (n / 10).max(1);
+    let mut comp_ids = Vec::with_capacity(n_comps);
+    for _ in 0..n_comps {
+        comp_ids.push(ws.components.add(Component::uniform(2).expect("2 > 0")));
+    }
+    let specs: [(&str, [(&str, ValueType); 2]); 3] = [
+        ("r1", [("a", ValueType::Int), ("b", ValueType::Str)]),
+        ("r2", [("b", ValueType::Str), ("c", ValueType::Int)]),
+        ("r3", [("c", ValueType::Int), ("d", ValueType::Str)]),
+    ];
+    for (name, cols) in specs {
+        let schema = Schema::of(&cols).expect("distinct");
+        let mut rel = URelation::new(schema);
+        for _ in 0..n {
+            let mk = |rng: &mut Rng, ty: ValueType| match ty {
+                ValueType::Int => Value::Int(rng.below(n) as i64),
+                _ => Value::str(format!("k{}", rng.below(n))),
+            };
+            let t = Tuple::new(vec![mk(rng, cols[0].1), mk(rng, cols[1].1)]);
+            let c = comp_ids[rng.below(comp_ids.len())];
+            rel.push(t, WsDescriptor::single(c, rng.below(2) as u16))
+                .expect("schema ok");
+        }
+        ws.insert(name, rel)
+            .expect("descriptors reference fresh components");
+    }
+    ws
+}
+
 /// Build a world set with three chained relations `r1(a,b)`, `r2(b,c)`,
 /// `r3(c,d)` of `n` uncertain rows each, with join keys drawn from a domain
 /// of size `n` so a 3-way natural join stays roughly linear in output size.

@@ -1,0 +1,702 @@
+//! Columnar u-relation storage: one typed vector per attribute plus a dense
+//! descriptor column.
+//!
+//! The row-oriented [`URelation`] stores `Vec<(Tuple, WsDescriptor)>` — every
+//! row is its own heap allocation and every scan chases one pointer per row.
+//! The execution core instead operates on a [`ColumnarURelation`]: per
+//! attribute one contiguous typed vector ([`ColumnVec`]) — `i64` for ints,
+//! `f64` for floats, `bool` for booleans, dictionary codes for strings — and
+//! one dense [`DescId`] vector for the world-set-descriptor column. Operators
+//! sweep whole columns (predicate evaluation, hash-key computation, gathers)
+//! instead of re-materializing tuples per row, which is exactly the access
+//! pattern the flat U-relational representation of the paper rewards: the
+//! annotation column and the value columns are scanned independently.
+//!
+//! Two interning pools give the columnar form its compact cells:
+//!
+//! * descriptors are handles into a [`DescriptorPool`] (see [`crate::intern`]);
+//! * strings are codes into a [`StrPool`] shared by *all* columns of a run,
+//!   so string equality — in joins, dedup, and group detection — is a `u32`
+//!   compare, never a byte compare.
+//!
+//! `Null` is represented out of band: a column carries an optional validity
+//! mask, allocated lazily the first time a null is stored. The typed data
+//! slot under a null holds an unobservable sentinel. Pure `null`-typed
+//! columns (schema type [`ValueType::Null`]) store only their length.
+//!
+//! Row order is part of the representation (operators preserve and exploit
+//! it), and [`ColumnarURelation::from_urelation`] /
+//! [`ColumnarURelation::to_urelation`] round-trip rows exactly — the
+//! conversion boundary the per-world oracle and the REPL display sit behind.
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+use crate::fxhash::FxHashMap;
+use crate::intern::{DescId, DescriptorPool};
+use crate::rel::Tuple;
+use crate::schema::Schema;
+use crate::urel::URelation;
+use crate::value::{Value, ValueType, F64};
+
+/// A run-scoped string dictionary: every distinct string is stored once and
+/// addressed by a dense `u32` code. Codes are only meaningful relative to
+/// the pool that issued them; within one pool, code equality *is* string
+/// equality, which is what makes string joins and dedup integer-cheap.
+#[derive(Clone, Debug, Default)]
+pub struct StrPool {
+    strings: Vec<Box<str>>,
+    index: FxHashMap<Box<str>, u32>,
+}
+
+impl StrPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        StrPool::default()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no string has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Intern a string, returning its stable code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = self.strings.len() as u32;
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, code);
+        code
+    }
+
+    /// The string behind a code.
+    pub fn get(&self, code: u32) -> &str {
+        &self.strings[code as usize]
+    }
+}
+
+/// Typed contiguous storage for one column's values.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    /// A `null`-typed column: every cell is `NULL`, only the length matters.
+    Null(usize),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// 64-bit signed integers.
+    Int(Vec<i64>),
+    /// 64-bit floats (compared and hashed via their bits / `total_cmp`, the
+    /// same semantics as [`F64`]).
+    Float(Vec<f64>),
+    /// Dictionary codes into the run's [`StrPool`].
+    Str(Vec<u32>),
+}
+
+/// One column: typed data plus an optional validity mask (`false` marks a
+/// `NULL` cell; `None` means no cell is null). The sentinel stored in the
+/// data slot under a null cell is never observed — every accessor checks
+/// validity first.
+#[derive(Clone, Debug)]
+pub struct ColumnVec {
+    data: ColumnData,
+    validity: Option<Vec<bool>>,
+}
+
+impl ColumnVec {
+    /// An empty column for a declared schema type.
+    pub fn new(ty: ValueType) -> Self {
+        let data = match ty {
+            ValueType::Null => ColumnData::Null(0),
+            ValueType::Bool => ColumnData::Bool(Vec::new()),
+            ValueType::Int => ColumnData::Int(Vec::new()),
+            ValueType::Float => ColumnData::Float(Vec::new()),
+            ValueType::Str => ColumnData::Str(Vec::new()),
+        };
+        ColumnVec {
+            data,
+            validity: None,
+        }
+    }
+
+    /// A float column built from raw values (no nulls) — used e.g. for the
+    /// appended `conf` column.
+    pub fn from_floats(values: Vec<f64>) -> Self {
+        ColumnVec {
+            data: ColumnData::Float(values),
+            validity: None,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Null(n) => *n,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The typed data vector.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Whether the cell at `i` is `NULL`.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        matches!(self.data, ColumnData::Null(_)) || self.validity.as_ref().is_some_and(|v| !v[i])
+    }
+
+    /// Reserve capacity for `additional` more cells.
+    pub fn reserve(&mut self, additional: usize) {
+        match &mut self.data {
+            ColumnData::Null(_) => {}
+            ColumnData::Bool(v) => v.reserve(additional),
+            ColumnData::Int(v) => v.reserve(additional),
+            ColumnData::Float(v) => v.reserve(additional),
+            ColumnData::Str(v) => v.reserve(additional),
+        }
+        if let Some(v) = &mut self.validity {
+            v.reserve(additional);
+        }
+    }
+
+    fn push_validity(&mut self, valid: bool) {
+        let len_before = self.len() - 1; // data slot already pushed
+        match (&mut self.validity, valid) {
+            (Some(v), _) => v.push(valid),
+            (None, true) => {}
+            (None, false) => {
+                let mut v = vec![true; len_before];
+                v.push(false);
+                self.validity = Some(v);
+            }
+        }
+    }
+
+    /// Append a value. The value must match the column's storage type or be
+    /// `Null`; anything else is a caller bug (the row was schema-checked).
+    pub fn push(&mut self, v: &Value, strings: &mut StrPool) {
+        match (&mut self.data, v) {
+            (ColumnData::Null(n), Value::Null) => {
+                *n += 1;
+                return; // pure-null columns carry no mask
+            }
+            (ColumnData::Bool(c), Value::Bool(b)) => c.push(*b),
+            (ColumnData::Int(c), Value::Int(i)) => c.push(*i),
+            (ColumnData::Float(c), Value::Float(f)) => c.push(f.get()),
+            (ColumnData::Str(c), Value::Str(s)) => c.push(strings.intern(s)),
+            (data, Value::Null) => {
+                // A null in a typed column: push the sentinel, mark invalid.
+                match data {
+                    ColumnData::Bool(c) => c.push(false),
+                    ColumnData::Int(c) => c.push(0),
+                    ColumnData::Float(c) => c.push(0.0),
+                    ColumnData::Str(c) => c.push(0),
+                    ColumnData::Null(_) => unreachable!("handled above"),
+                }
+                self.push_validity(false);
+                return;
+            }
+            (data, v) => {
+                unreachable!("schema-checked value {v:?} does not match column storage {data:?}")
+            }
+        }
+        self.push_validity(true);
+    }
+
+    /// The cell at `i` as an owned [`Value`] (allocates for strings).
+    pub fn value(&self, i: usize, strings: &StrPool) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Null(_) => Value::Null,
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(F64(v[i])),
+            ColumnData::Str(v) => Value::str(strings.get(v[i])),
+        }
+    }
+
+    /// Numeric view of the cell (`None` for nulls and non-numeric types) —
+    /// the columnar counterpart of [`Value::as_f64`].
+    pub fn cell_f64(&self, i: usize) -> Option<f64> {
+        if self.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            _ => None,
+        }
+    }
+
+    /// The [`Value`] variant rank of the cell (`Null < Bool < Int < Float <
+    /// Str`), which is what the derived total order on `Value` compares
+    /// first.
+    #[inline]
+    fn rank(&self, i: usize) -> u8 {
+        if self.is_null(i) {
+            return 0;
+        }
+        match &self.data {
+            ColumnData::Null(_) => 0,
+            ColumnData::Bool(_) => 1,
+            ColumnData::Int(_) => 2,
+            ColumnData::Float(_) => 3,
+            ColumnData::Str(_) => 4,
+        }
+    }
+
+    /// Whether cell `i` equals cell `j` of `other`, under [`Value`] equality
+    /// (`NULL = NULL`; strings by code — both columns must encode into the
+    /// same [`StrPool`], which one run's columns always do).
+    #[inline]
+    pub fn eq_cells(&self, i: usize, other: &ColumnVec, j: usize) -> bool {
+        match (self.is_null(i), other.is_null(j)) {
+            (true, true) => return true,
+            (false, false) => {}
+            _ => return false,
+        }
+        match (&self.data, &other.data) {
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a[i] == b[j],
+            (ColumnData::Int(a), ColumnData::Int(b)) => a[i] == b[j],
+            (ColumnData::Float(a), ColumnData::Float(b)) => a[i].to_bits() == b[j].to_bits(),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a[i] == b[j],
+            _ => false, // distinct non-null variants are never equal
+        }
+    }
+
+    /// Compare cell `i` against cell `j` of `other` under the total [`Value`]
+    /// order: variant rank first, then the typed comparison (`total_cmp` for
+    /// floats, lexicographic via the pool for strings).
+    pub fn cmp_cells(&self, i: usize, other: &ColumnVec, j: usize, strings: &StrPool) -> Ordering {
+        let (ra, rb) = (self.rank(i), other.rank(j));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        if ra == 0 {
+            return Ordering::Equal; // NULL = NULL
+        }
+        match (&self.data, &other.data) {
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a[i].cmp(&b[j]),
+            (ColumnData::Int(a), ColumnData::Int(b)) => a[i].cmp(&b[j]),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a[i].total_cmp(&b[j]),
+            (ColumnData::Str(a), ColumnData::Str(b)) => {
+                if a[i] == b[j] {
+                    Ordering::Equal
+                } else {
+                    strings.get(a[i]).cmp(strings.get(b[j]))
+                }
+            }
+            _ => unreachable!("equal ranks imply equal storage variants"),
+        }
+    }
+
+    /// Compare cell `i` against a literal [`Value`], under the same total
+    /// order as [`ColumnVec::cmp_cells`].
+    pub fn cmp_cell_value(&self, i: usize, v: &Value, strings: &StrPool) -> Ordering {
+        let rank_of = |v: &Value| match v {
+            Value::Null => 0u8,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        };
+        let (ra, rb) = (self.rank(i), rank_of(v));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (&self.data, v) {
+            (_, Value::Null) => Ordering::Equal,
+            (ColumnData::Bool(a), Value::Bool(b)) => a[i].cmp(b),
+            (ColumnData::Int(a), Value::Int(b)) => a[i].cmp(b),
+            (ColumnData::Float(a), Value::Float(b)) => a[i].total_cmp(&b.get()),
+            (ColumnData::Str(a), Value::Str(b)) => strings.get(a[i]).cmp(b.as_str()),
+            _ => unreachable!("equal ranks imply equal storage variants"),
+        }
+    }
+
+    /// An order-preserving coarse `u64` key of the cell: if
+    /// `sort_prefix(i) < sort_prefix(j)` then cell `i` orders strictly
+    /// before cell `j` under the total [`Value`] order (the converse does
+    /// not hold — equal prefixes must fall back to [`ColumnVec::cmp_cells`]).
+    /// Sorting large permutations on `(prefix, row)` pairs turns almost
+    /// every comparison into one integer compare.
+    ///
+    /// Layout: 3 high bits of variant rank, then 61 bits of value prefix
+    /// (sign-flipped ints, `total_cmp`-ordered float bits, the first bytes
+    /// of the string, truncated — truncation only loses *resolution*, never
+    /// order).
+    pub fn sort_prefix(&self, i: usize, strings: &StrPool) -> u64 {
+        if self.is_null(i) {
+            return 0;
+        }
+        let (rank, v) = match &self.data {
+            ColumnData::Null(_) => (0u64, 0u64),
+            ColumnData::Bool(b) => (1, b[i] as u64),
+            ColumnData::Int(x) => (2, (x[i] as u64) ^ (1 << 63)),
+            ColumnData::Float(f) => {
+                let bits = f[i].to_bits();
+                // The standard total_cmp-compatible monotone map.
+                let ordered = if bits & (1 << 63) != 0 {
+                    !bits
+                } else {
+                    bits | (1 << 63)
+                };
+                (3, ordered)
+            }
+            ColumnData::Str(c) => {
+                let s = strings.get(c[i]).as_bytes();
+                let mut buf = [0u8; 8];
+                let take = s.len().min(8);
+                buf[..take].copy_from_slice(&s[..take]);
+                (4, u64::from_be_bytes(buf))
+            }
+        };
+        (rank << 61) | (v >> 3)
+    }
+
+    /// Feed the cell at `i` into a hasher, consistently with
+    /// [`ColumnVec::eq_cells`]: equal cells hash equally (nulls hash to a
+    /// fixed tag; strings hash by code, valid within one pool).
+    #[inline]
+    pub fn hash_cell<H: Hasher>(&self, i: usize, state: &mut H) {
+        if self.is_null(i) {
+            state.write_u8(0);
+            return;
+        }
+        match &self.data {
+            ColumnData::Null(_) => state.write_u8(0),
+            ColumnData::Bool(v) => v[i].hash(state),
+            ColumnData::Int(v) => v[i].hash(state),
+            ColumnData::Float(v) => v[i].to_bits().hash(state),
+            ColumnData::Str(v) => v[i].hash(state),
+        }
+    }
+
+    /// A new column holding the cells at `idx`, in that order (the
+    /// vectorized shuffle joins and selection materialization are built on).
+    pub fn gather(&self, idx: &[u32]) -> ColumnVec {
+        let data = match &self.data {
+            ColumnData::Null(_) => ColumnData::Null(idx.len()),
+            ColumnData::Bool(v) => ColumnData::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Str(v) => ColumnData::Str(idx.iter().map(|&i| v[i as usize]).collect()),
+        };
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| idx.iter().map(|&i| v[i as usize]).collect());
+        ColumnVec { data, validity }
+    }
+
+    /// Append *all* cells of `src` to this column (the dense fast path of
+    /// [`ColumnVec::extend_gather`]). Both columns must share the storage
+    /// variant.
+    pub fn extend_all(&mut self, src: &ColumnVec) {
+        if self.validity.is_some() || src.validity.is_some() {
+            let own_len = self.len();
+            let mask = self.validity.get_or_insert_with(|| vec![true; own_len]);
+            match &src.validity {
+                Some(v) => mask.extend_from_slice(v),
+                None => mask.extend(std::iter::repeat(true).take(src.len())),
+            }
+        }
+        match (&mut self.data, &src.data) {
+            (ColumnData::Null(n), ColumnData::Null(m)) => *n += m,
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend_from_slice(b),
+            (a, b) => unreachable!("union-compatible columns must share storage: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Append the cells of `src` at `idx` (in that order) to this column.
+    /// Both columns must share the storage variant (union-compatible
+    /// schemas guarantee it).
+    pub fn extend_gather(&mut self, src: &ColumnVec, idx: &[u32]) {
+        // Growing a masked column (or appending masked cells to an unmasked
+        // one) needs both masks materialized first.
+        if self.validity.is_some() || src.validity.is_some() {
+            let own_len = self.len();
+            let mask = self.validity.get_or_insert_with(|| vec![true; own_len]);
+            match &src.validity {
+                Some(v) => mask.extend(idx.iter().map(|&i| v[i as usize])),
+                None => mask.extend(std::iter::repeat(true).take(idx.len())),
+            }
+        }
+        match (&mut self.data, &src.data) {
+            (ColumnData::Null(n), ColumnData::Null(_)) => *n += idx.len(),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => {
+                a.extend(idx.iter().map(|&i| b[i as usize]))
+            }
+            (ColumnData::Int(a), ColumnData::Int(b)) => {
+                a.extend(idx.iter().map(|&i| b[i as usize]))
+            }
+            (ColumnData::Float(a), ColumnData::Float(b)) => {
+                a.extend(idx.iter().map(|&i| b[i as usize]))
+            }
+            (ColumnData::Str(a), ColumnData::Str(b)) => {
+                a.extend(idx.iter().map(|&i| b[i as usize]))
+            }
+            (a, b) => unreachable!("union-compatible columns must share storage: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// A u-relation in columnar form: the schema, one [`ColumnVec`] per
+/// attribute, and the dense descriptor column as [`DescId`] handles into a
+/// [`DescriptorPool`]. String cells are codes into a [`StrPool`]. Both pools
+/// are supplied by the owner (one pool pair per executor run, or per
+/// normalization pass) — the relation itself stays plain data.
+#[derive(Clone, Debug)]
+pub struct ColumnarURelation {
+    schema: Schema,
+    cols: Vec<ColumnVec>,
+    descs: Vec<DescId>,
+}
+
+impl ColumnarURelation {
+    /// An empty columnar relation over a schema.
+    pub fn new(schema: Schema) -> Self {
+        let cols = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnVec::new(c.ty))
+            .collect();
+        ColumnarURelation {
+            schema,
+            cols,
+            descs: Vec::new(),
+        }
+    }
+
+    /// Assemble from parts. The columns must agree with the schema's arity
+    /// and all share the descriptor column's length.
+    pub fn from_parts(schema: Schema, cols: Vec<ColumnVec>, descs: Vec<DescId>) -> Self {
+        debug_assert_eq!(schema.arity(), cols.len(), "arity mismatch");
+        debug_assert!(
+            cols.iter().all(|c| c.len() == descs.len()),
+            "ragged columns"
+        );
+        ColumnarURelation {
+            schema,
+            cols,
+            descs,
+        }
+    }
+
+    /// Convert a row-oriented u-relation, interning descriptors and strings
+    /// into the supplied pools. Row order is preserved exactly.
+    pub fn from_urelation(u: &URelation, pool: &mut DescriptorPool, strings: &mut StrPool) -> Self {
+        let mut out = ColumnarURelation::new(u.schema().clone());
+        for c in &mut out.cols {
+            c.reserve(u.len());
+        }
+        out.descs.reserve(u.len());
+        for (t, d) in u.rows() {
+            for (c, v) in out.cols.iter_mut().zip(t.values()) {
+                c.push(v, strings);
+            }
+            out.descs.push(pool.intern(d));
+        }
+        out
+    }
+
+    /// Convert back to the row-oriented form, resolving descriptor handles
+    /// and string codes. Row order is preserved exactly, so
+    /// `to_urelation(from_urelation(u)) == u`.
+    pub fn to_urelation(&self, pool: &DescriptorPool, strings: &StrPool) -> URelation {
+        let rows = (0..self.len())
+            .map(|i| (self.tuple_at(i, strings), pool.to_descriptor(self.descs[i])))
+            .collect();
+        URelation::from_rows_unchecked(self.schema.clone(), rows)
+    }
+
+    /// Decompose into schema, value columns, and descriptor column (used by
+    /// the executor to take ownership without cloning).
+    pub fn into_parts(self) -> (Schema, Vec<ColumnVec>, Vec<DescId>) {
+        (self.schema, self.cols, self.descs)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The value columns, in schema order.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.cols
+    }
+
+    /// One value column.
+    pub fn column(&self, i: usize) -> &ColumnVec {
+        &self.cols[i]
+    }
+
+    /// The descriptor column.
+    pub fn descs(&self) -> &[DescId] {
+        &self.descs
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+
+    /// True when every row holds in all worlds. Handle-based: every interned
+    /// tautology is [`DescId::TAUTOLOGY`] (conjunction can only shrink world
+    /// sets, never produce a fresh tautology handle).
+    pub fn is_certain(&self) -> bool {
+        self.descs.iter().all(|d| d.is_tautology())
+    }
+
+    /// Materialize row `i` as an owned [`Tuple`].
+    pub fn tuple_at(&self, i: usize, strings: &StrPool) -> Tuple {
+        Tuple::new(self.cols.iter().map(|c| c.value(i, strings)).collect())
+    }
+
+    /// Compare two rows' value columns (not descriptors) under the
+    /// lexicographic [`Tuple`] order.
+    pub fn cmp_rows(&self, i: usize, j: usize, strings: &StrPool) -> Ordering {
+        for c in &self.cols {
+            let o = c.cmp_cells(i, c, j, strings);
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Whether two rows agree on every value column.
+    pub fn rows_eq(&self, i: usize, j: usize) -> bool {
+        self.cols.iter().all(|c| c.eq_cells(i, c, j))
+    }
+
+    /// A new relation holding the rows at `idx` in that order, with a
+    /// replacement descriptor column (`descs.len()` must equal `idx.len()`).
+    pub fn gather_with_descs(&self, idx: &[u32], descs: Vec<DescId>) -> Self {
+        debug_assert_eq!(idx.len(), descs.len());
+        ColumnarURelation {
+            schema: self.schema.clone(),
+            cols: self.cols.iter().map(|c| c.gather(idx)).collect(),
+            descs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::{ComponentId, WsDescriptor};
+    use crate::value::ValueType;
+
+    fn mixed_relation() -> URelation {
+        let schema = Schema::of(&[
+            ("i", ValueType::Int),
+            ("f", ValueType::Float),
+            ("s", ValueType::Str),
+            ("b", ValueType::Bool),
+        ])
+        .unwrap();
+        let mut u = URelation::new(schema);
+        u.push(
+            Tuple::new(vec![1.into(), Value::float(1.5), "x".into(), true.into()]),
+            WsDescriptor::single(ComponentId(0), 1),
+        )
+        .unwrap();
+        u.push(
+            Tuple::new(vec![Value::Null, Value::Null, "x".into(), false.into()]),
+            WsDescriptor::tautology(),
+        )
+        .unwrap();
+        u.push(
+            Tuple::new(vec![2.into(), Value::float(-0.0), Value::Null, Value::Null]),
+            WsDescriptor::single(ComponentId(1), 0),
+        )
+        .unwrap();
+        u
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows_exactly() {
+        let u = mixed_relation();
+        let mut pool = DescriptorPool::new();
+        let mut strings = StrPool::new();
+        let c = ColumnarURelation::from_urelation(&u, &mut pool, &mut strings);
+        assert_eq!(c.len(), u.len());
+        assert_eq!(c.to_urelation(&pool, &strings), u);
+    }
+
+    #[test]
+    fn cell_comparisons_mirror_value_order() {
+        let u = mixed_relation();
+        let mut pool = DescriptorPool::new();
+        let mut strings = StrPool::new();
+        let c = ColumnarURelation::from_urelation(&u, &mut pool, &mut strings);
+        for i in 0..u.len() {
+            for j in 0..u.len() {
+                let (ti, tj) = (&u.rows()[i].0, &u.rows()[j].0);
+                assert_eq!(c.cmp_rows(i, j, &strings), ti.cmp(tj), "rows {i},{j}");
+                assert_eq!(c.rows_eq(i, j), ti == tj);
+                for (k, col) in c.columns().iter().enumerate() {
+                    assert_eq!(
+                        col.cmp_cell_value(i, tj.get(k), &strings),
+                        ti.get(k).cmp(tj.get(k)),
+                        "cell ({i},{k}) vs value ({j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_extend_respect_validity() {
+        let u = mixed_relation();
+        let mut pool = DescriptorPool::new();
+        let mut strings = StrPool::new();
+        let c = ColumnarURelation::from_urelation(&u, &mut pool, &mut strings);
+        let g = c.gather_with_descs(&[2, 0], vec![c.descs()[2], c.descs()[0]]);
+        assert_eq!(g.tuple_at(0, &strings), u.rows()[2].0);
+        assert_eq!(g.tuple_at(1, &strings), u.rows()[0].0);
+
+        let mut col = c.column(0).clone();
+        col.extend_gather(c.column(0), &[1]);
+        assert_eq!(col.len(), 4);
+        assert!(col.is_null(3));
+        assert_eq!(col.value(3, &strings), Value::Null);
+    }
+
+    #[test]
+    fn str_codes_share_one_pool() {
+        let mut strings = StrPool::new();
+        assert_eq!(strings.intern("a"), strings.intern("a"));
+        assert_ne!(strings.intern("a"), strings.intern("b"));
+        let b = strings.intern("b");
+        assert_eq!(strings.get(b), "b");
+        assert_eq!(strings.len(), 2);
+    }
+}

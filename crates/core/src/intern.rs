@@ -82,6 +82,26 @@ impl Stored {
     }
 }
 
+/// Occupancy and hit statistics of a [`DescriptorPool`], exposed for
+/// observability (the REPL's `\stats` meta-command) and for validating that
+/// executor changes keep the interning behavior intact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Calls to [`DescriptorPool::intern`] / [`DescriptorPool::intern_terms`]
+    /// (tautology fast path included).
+    pub intern_calls: u64,
+    /// Intern calls answered from the index (or the tautology fast path)
+    /// without minting a new entry.
+    pub intern_hits: u64,
+    /// Calls to [`DescriptorPool::conjoin`].
+    pub conjoin_calls: u64,
+    /// Conjoin calls resolved without minting an entry: tautology unit,
+    /// equal handles, or one side subsuming the other.
+    pub conjoin_shortcuts: u64,
+    /// Conjoin calls whose inputs were inconsistent (empty world set).
+    pub conjoin_inconsistent: u64,
+}
+
 /// An interner for world-set descriptors. See the module docs.
 #[derive(Clone, Debug)]
 pub struct DescriptorPool {
@@ -89,6 +109,10 @@ pub struct DescriptorPool {
     index: FxHashMap<Stored, DescId>,
     /// Scratch buffer for conjunction, reused across calls.
     scratch: Vec<(ComponentId, u16)>,
+    /// Running usage counters; see [`PoolStats`].
+    stats: PoolStats,
+    /// Number of entries stored as [`Stored::Spilled`].
+    spilled: usize,
 }
 
 impl Default for DescriptorPool {
@@ -107,6 +131,8 @@ impl DescriptorPool {
             entries: vec![taut],
             index,
             scratch: Vec::new(),
+            stats: PoolStats::default(),
+            spilled: 0,
         }
     }
 
@@ -118,6 +144,18 @@ impl DescriptorPool {
     /// Always false: the tautology is pre-interned.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// A snapshot of the pool's usage counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of entries that spilled to the heap (more than
+    /// [`INLINE_TERMS`] terms). Maintained as a counter, so stats snapshots
+    /// never sweep the pool.
+    pub fn spilled(&self) -> usize {
+        self.spilled
     }
 
     /// Intern a descriptor, returning its stable handle.
@@ -132,14 +170,18 @@ impl DescriptorPool {
             terms.windows(2).all(|w| w[0].0 < w[1].0),
             "intern_terms requires strictly sorted component ids"
         );
+        self.stats.intern_calls += 1;
         if terms.is_empty() {
+            self.stats.intern_hits += 1;
             return DescId::TAUTOLOGY;
         }
         let stored = Stored::from_terms(terms);
         if let Some(&id) = self.index.get(&stored) {
+            self.stats.intern_hits += 1;
             return id;
         }
         let id = DescId(self.entries.len() as u32);
+        self.spilled += matches!(stored, Stored::Spilled(_)) as usize;
         self.entries.push(stored.clone());
         self.index.insert(stored, id);
         id
@@ -193,29 +235,55 @@ impl DescriptorPool {
     /// deduplicate must compare with [`DescriptorPool::same_descriptor`]
     /// (or hash/compare term lists), not raw handles.
     pub fn conjoin(&mut self, a: DescId, b: DescId) -> Option<DescId> {
+        self.stats.conjoin_calls += 1;
         if a == b || b.is_tautology() {
+            self.stats.conjoin_shortcuts += 1;
             return Some(a);
         }
         if a.is_tautology() {
+            self.stats.conjoin_shortcuts += 1;
             return Some(b);
         }
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
         let merged = merge_sorted_terms(self.terms(a), self.terms(b), &mut scratch);
         let result = if !merged {
+            self.stats.conjoin_inconsistent += 1;
             None
         } else if scratch.len() == self.terms(a).len() {
             // merged ⊇ a and equal length ⟹ merged == a (b ⊆ a).
+            self.stats.conjoin_shortcuts += 1;
             Some(a)
         } else if scratch.len() == self.terms(b).len() {
+            self.stats.conjoin_shortcuts += 1;
             Some(b)
         } else {
             let id = DescId(self.entries.len() as u32);
-            self.entries.push(Stored::from_terms(&scratch));
+            let stored = Stored::from_terms(&scratch);
+            self.spilled += matches!(stored, Stored::Spilled(_)) as usize;
+            self.entries.push(stored);
             Some(id)
         };
         self.scratch = scratch;
         result
+    }
+
+    /// True when every assignment of `a` also occurs in `b` — i.e. `b`
+    /// denotes a subset of `a`'s worlds (`a` absorbs `b` in a disjunction).
+    pub fn is_subset(&self, a: DescId, b: DescId) -> bool {
+        let (ta, tb) = (self.terms(a), self.terms(b));
+        ta.iter().all(|t| tb.binary_search(t).is_ok())
+    }
+
+    /// The canonical handle of `id` with any assignment to `c` removed.
+    /// Goes through the intern index, so the result compares by handle.
+    pub fn without(&mut self, id: DescId, c: ComponentId) -> DescId {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(self.terms(id).iter().copied().filter(|&(cc, _)| cc != c));
+        let out = self.intern_terms(&scratch);
+        self.scratch = scratch;
+        out
     }
 }
 
@@ -260,6 +328,7 @@ mod tests {
         assert_eq!(pool.terms(id), terms.as_slice());
         assert_eq!(pool.intern(&d), id);
         assert_eq!(pool.to_descriptor(id), d);
+        assert_eq!(pool.spilled(), 1);
     }
 
     #[test]

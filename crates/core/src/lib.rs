@@ -25,6 +25,11 @@
 //!   a dense `u32` [`DescId`] (with inline storage for the dominant 0/1/2-term
 //!   cases), so the executor conjoins, hashes, and deduplicates on integers
 //!   instead of re-allocating sorted term vectors;
+//! * [`columnar`] — the columnar execution form of a u-relation: one typed
+//!   vector per attribute (strings dictionary-encoded through a [`StrPool`])
+//!   plus the dense [`DescId`] column, with exact row↔columnar conversion;
+//!   this is what the vectorized executor in `maybms-algebra` and the
+//!   columnar normalization path scan;
 //! * [`normalize`] — descriptor simplification, absorption, merging of rows
 //!   that cover all alternatives of a component, and garbage collection of
 //!   unreferenced components;
@@ -39,6 +44,7 @@
 //! uncertainty constructs (`repair-key`, `possible`, `certain`, `conf`) live
 //! in `maybms-ql`.
 
+pub mod columnar;
 pub mod component;
 pub mod descriptor;
 pub mod error;
@@ -53,11 +59,12 @@ pub mod urel;
 pub mod value;
 pub mod world;
 
+pub use columnar::{ColumnData, ColumnVec, ColumnarURelation, StrPool};
 pub use component::{Component, ComponentSet, WorldPick};
 pub use descriptor::{ComponentId, WsDescriptor};
 pub use error::MayError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use intern::{DescId, DescriptorPool};
+pub use intern::{DescId, DescriptorPool, PoolStats};
 pub use rel::{Relation, Tuple};
 pub use schema::{Column, Schema};
 pub use urel::URelation;

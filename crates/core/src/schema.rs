@@ -66,21 +66,46 @@ impl Schema {
             .ok_or_else(|| MayError::UnknownColumn(name.to_string()))
     }
 
+    /// One-line rendering of the schema, e.g. `(a int, b str)` — used by
+    /// error messages so mismatches name the schemas involved, not just
+    /// their lengths.
+    pub fn describe(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("{} {}", c.name, c.ty))
+            .collect();
+        format!("({})", cols.join(", "))
+    }
+
     /// Check a tuple against this schema (arity and types; `Null` matches any
-    /// column type).
+    /// column type). Errors name the offending attribute and the schema.
     pub fn check(&self, tuple: &Tuple) -> Result<(), MayError> {
         if tuple.arity() != self.arity() {
+            let detail = if tuple.arity() < self.arity() {
+                format!(
+                    "; no value for column `{}`",
+                    self.columns[tuple.arity()].name
+                )
+            } else {
+                format!(
+                    "; {} extra value(s) past the last column",
+                    tuple.arity() - self.arity()
+                )
+            };
             return Err(MayError::TupleMismatch(format!(
-                "arity {} vs schema arity {}",
+                "tuple {tuple} has arity {} but schema {} has arity {}{detail}",
                 tuple.arity(),
+                self.describe(),
                 self.arity()
             )));
         }
         for (v, c) in tuple.values().iter().zip(&self.columns) {
             if !matches!(v, Value::Null) && v.type_of() != c.ty {
                 return Err(MayError::TupleMismatch(format!(
-                    "column {} expects {}, got {}",
+                    "column `{}` of schema {} expects {}, got {} in tuple {tuple}",
                     c.name,
+                    self.describe(),
                     c.ty,
                     v.type_of()
                 )));
@@ -113,16 +138,35 @@ impl Schema {
     }
 
     /// Check that another schema is union-compatible (same names and types in
-    /// the same order).
+    /// the same order). Errors pinpoint the first offending attribute and
+    /// show both full schemas.
     pub fn union_compatible(&self, other: &Schema) -> Result<(), MayError> {
-        if self != other {
-            return Err(MayError::SchemaMismatch(format!(
-                "{:?} vs {:?}",
-                self.names(),
-                other.names()
-            )));
+        if self == other {
+            return Ok(());
         }
-        Ok(())
+        let both = format!("left {}, right {}", self.describe(), other.describe());
+        for (i, (l, r)) in self.columns.iter().zip(&other.columns).enumerate() {
+            if l.name != r.name {
+                return Err(MayError::SchemaMismatch(format!(
+                    "column {} is named `{}` on the left but `{}` on the right; {both}",
+                    i + 1,
+                    l.name,
+                    r.name
+                )));
+            }
+            if l.ty != r.ty {
+                return Err(MayError::SchemaMismatch(format!(
+                    "column `{}` is {} on the left but {} on the right; {both}",
+                    l.name, l.ty, r.ty
+                )));
+            }
+        }
+        // Same prefix, different arity.
+        Err(MayError::SchemaMismatch(format!(
+            "left has {} column(s) but right has {}; {both}",
+            self.arity(),
+            other.arity()
+        )))
     }
 
     /// Column names in order.
@@ -215,6 +259,51 @@ mod tests {
     #[test]
     fn rejects_duplicate_columns() {
         assert!(Schema::of(&[("a", ValueType::Int), ("a", ValueType::Int)]).is_err());
+    }
+
+    #[test]
+    fn mismatch_errors_name_attribute_and_schemas() {
+        let s = Schema::of(&[("a", ValueType::Int), ("b", ValueType::Str)]).unwrap();
+        let short = Tuple::new(vec![1.into()]);
+        let err = s.check(&short).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("(a int, b str)"), "{msg}");
+        assert!(msg.contains("no value for column `b`"), "{msg}");
+
+        let wrong_ty = Tuple::new(vec![1.into(), 2.into()]);
+        let msg = s.check(&wrong_ty).unwrap_err().to_string();
+        assert!(msg.contains("column `b`"), "{msg}");
+        assert!(msg.contains("expects str, got int"), "{msg}");
+
+        let other = Schema::of(&[("a", ValueType::Int), ("b", ValueType::Int)]).unwrap();
+        let msg = s.union_compatible(&other).unwrap_err().to_string();
+        assert!(
+            msg.contains("column `b` is str on the left but int on the right"),
+            "{msg}"
+        );
+        assert!(
+            msg.contains("left (a int, b str), right (a int, b int)"),
+            "{msg}"
+        );
+
+        let renamed = Schema::of(&[("a", ValueType::Int), ("c", ValueType::Str)]).unwrap();
+        let msg = s.union_compatible(&renamed).unwrap_err().to_string();
+        assert!(
+            msg.contains("column 2 is named `b` on the left but `c` on the right"),
+            "{msg}"
+        );
+
+        let wider = Schema::of(&[
+            ("a", ValueType::Int),
+            ("b", ValueType::Str),
+            ("c", ValueType::Int),
+        ])
+        .unwrap();
+        let msg = s.union_compatible(&wider).unwrap_err().to_string();
+        assert!(
+            msg.contains("left has 2 column(s) but right has 3"),
+            "{msg}"
+        );
     }
 
     #[test]

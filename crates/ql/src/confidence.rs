@@ -3,7 +3,10 @@
 use std::sync::Arc;
 
 use maybms_algebra::{EvalCtx, ExtOperator, Plan};
-use maybms_core::{Column, MayError, Schema, URelation, Value, ValueType, WsDescriptor};
+use maybms_core::columnar::{ColumnVec, ColumnarURelation};
+use maybms_core::{Column, DescId, MayError, Schema, ValueType, WsDescriptor};
+
+use crate::order::{run_end, sorted_row_ids};
 
 // `Conf::eval` computes P(t) = P(d₁ ∨ … ∨ dₙ) per distinct tuple via
 // `ComponentSet::prob_of_dnf`, which factorizes the disjunction into
@@ -51,21 +54,37 @@ impl ExtOperator for Conf {
         Schema::new(cols)
     }
 
-    fn eval(&self, ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
+    fn eval(
+        &self,
+        ctx: &mut EvalCtx<'_>,
+        inputs: Vec<ColumnarURelation>,
+    ) -> Result<ColumnarURelation, MayError> {
         let r = &inputs[0];
         let schema = self.output_schema(&[r.schema().clone()])?;
-        let mut out = URelation::new(schema);
-        let grouped = r.grouped();
-        out.reserve(grouped.len());
-        for (t, descs) in grouped {
+        // Group the rows of each distinct tuple as one contiguous run of a
+        // sorted id permutation; the value columns are gathered once at the
+        // end and the `conf` column is built as a raw float vector.
+        let perm = sorted_row_ids(r, &ctx.strings);
+        let mut kept: Vec<u32> = Vec::new();
+        let mut confs: Vec<f64> = Vec::new();
+        let mut start = 0;
+        while start < perm.len() {
+            let end = run_end(r, &perm, start);
             // P(t in DB) = P(d₁ ∨ … ∨ dₙ), exact over the components the
-            // descriptors mention (they are independent of all others).
-            // `prob_of_dnf` borrows the grouped descriptors directly.
-            let p = ctx.components.prob_of_dnf(&descs);
-            // `extended` appends the float `conf` column the output schema
-            // declares, so the row is schema-correct by construction.
-            out.push_unchecked(t.extended(Value::float(p)), WsDescriptor::tautology());
+            // descriptors mention (they are independent of all others). The
+            // handles are resolved to descriptors once per distinct tuple,
+            // at this probabilistic-engine boundary.
+            let descs: Vec<WsDescriptor> = perm[start..end]
+                .iter()
+                .map(|&i| ctx.pool.to_descriptor(r.descs()[i as usize]))
+                .collect();
+            kept.push(perm[start]);
+            confs.push(ctx.components.prob_of_dnf(&descs));
+            start = end;
         }
-        Ok(out)
+        let mut cols: Vec<ColumnVec> = r.columns().iter().map(|c| c.gather(&kept)).collect();
+        cols.push(ColumnVec::from_floats(confs));
+        let descs = vec![DescId::TAUTOLOGY; kept.len()];
+        Ok(ColumnarURelation::from_parts(schema, cols, descs))
     }
 }

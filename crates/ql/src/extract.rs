@@ -3,7 +3,10 @@
 use std::sync::Arc;
 
 use maybms_algebra::{EvalCtx, ExtOperator, Plan};
-use maybms_core::{MayError, Schema, URelation, WsDescriptor};
+use maybms_core::columnar::ColumnarURelation;
+use maybms_core::{DescId, MayError, Schema, WsDescriptor};
+
+use crate::order::{run_end, sorted_row_ids};
 
 /// The `possible R` operator: the tuples of `R` that occur in at least one
 /// world. The result is a certain relation.
@@ -34,19 +37,20 @@ impl ExtOperator for Possible {
         Ok(inputs[0].clone())
     }
 
-    fn eval(&self, _ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
+    fn eval(
+        &self,
+        ctx: &mut EvalCtx<'_>,
+        inputs: Vec<ColumnarURelation>,
+    ) -> Result<ColumnarURelation, MayError> {
         let r = &inputs[0];
         // Descriptors are consistent by construction (conjoin rejects
-        // contradictions), so every annotated tuple is possible. Tuples come
-        // from a schema-checked relation with the same schema, so the bulk
-        // unchecked path applies.
-        let mut out = URelation::new(r.schema().clone());
-        let grouped = r.grouped();
-        out.reserve(grouped.len());
-        for t in grouped.keys() {
-            out.push_unchecked((*t).clone(), WsDescriptor::tautology());
-        }
-        Ok(out)
+        // contradictions), so every annotated tuple is possible: the result
+        // is the distinct tuples in canonical order, all certain. A sort of
+        // row ids plus a column-wise gather — no per-row tuples.
+        let mut perm = sorted_row_ids(r, &ctx.strings);
+        perm.dedup_by(|&mut i, &mut j| r.rows_eq(i as usize, j as usize));
+        let descs = vec![DescId::TAUTOLOGY; perm.len()];
+        Ok(r.gather_with_descs(&perm, descs))
     }
 }
 
@@ -79,18 +83,32 @@ impl ExtOperator for Certain {
         Ok(inputs[0].clone())
     }
 
-    fn eval(&self, ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
+    fn eval(
+        &self,
+        ctx: &mut EvalCtx<'_>,
+        inputs: Vec<ColumnarURelation>,
+    ) -> Result<ColumnarURelation, MayError> {
         let r = &inputs[0];
-        let mut out = URelation::new(r.schema().clone());
-        for (t, descs) in r.grouped() {
+        let perm = sorted_row_ids(r, &ctx.strings);
+        let mut kept: Vec<u32> = Vec::new();
+        let mut start = 0;
+        while start < perm.len() {
+            let end = run_end(r, &perm, start);
             // A tuple is certain iff the disjunction of its descriptors
             // covers all worlds. `covers_all_worlds` factorizes into
             // connected descriptor groups and only enumerates within a
-            // group, borrowing the grouped descriptors directly.
+            // group; the handles are resolved to descriptors once per
+            // distinct tuple, at this probabilistic-engine boundary.
+            let descs: Vec<WsDescriptor> = perm[start..end]
+                .iter()
+                .map(|&i| ctx.pool.to_descriptor(r.descs()[i as usize]))
+                .collect();
             if ctx.components.covers_all_worlds(&descs) {
-                out.push_unchecked(t.clone(), WsDescriptor::tautology());
+                kept.push(perm[start]);
             }
+            start = end;
         }
-        Ok(out)
+        let descs = vec![DescId::TAUTOLOGY; kept.len()];
+        Ok(r.gather_with_descs(&kept, descs))
     }
 }

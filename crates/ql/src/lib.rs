@@ -22,6 +22,7 @@
 
 mod confidence;
 mod extract;
+mod order;
 mod repair;
 
 pub use confidence::{conf, Conf, CONF_COLUMN};

@@ -1,0 +1,26 @@
+//! Canonical row ordering shared by the columnar ql operators.
+//!
+//! `possible`, `certain`, `conf`, and `repair-key` all start the same way:
+//! sort a row-id permutation into the canonical tuple order (the order the
+//! row-oriented `grouped()` used to iterate in) so each distinct tuple's
+//! rows form one contiguous run. Keeping the comparator in one place means
+//! a change to the canonical order (e.g. a prefix-key fast path) cannot
+//! silently desynchronize the operators' output orders.
+
+use maybms_core::columnar::{ColumnarURelation, StrPool};
+
+/// Row ids of `r` sorted into canonical tuple order.
+pub(crate) fn sorted_row_ids(r: &ColumnarURelation, strings: &StrPool) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..r.len() as u32).collect();
+    perm.sort_unstable_by(|&i, &j| r.cmp_rows(i as usize, j as usize, strings));
+    perm
+}
+
+/// The end of the run of rows carrying the same tuple as `perm[start]`.
+pub(crate) fn run_end(r: &ColumnarURelation, perm: &[u32], start: usize) -> usize {
+    let mut end = start + 1;
+    while end < perm.len() && r.rows_eq(perm[start] as usize, perm[end] as usize) {
+        end += 1;
+    }
+    end
+}

@@ -1,10 +1,12 @@
 //! `repair-key`: turn key violations into alternative worlds.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use maybms_algebra::{EvalCtx, ExtOperator, Plan};
-use maybms_core::{Component, MayError, Schema, Tuple, URelation, Value, WsDescriptor};
+use maybms_core::columnar::ColumnarURelation;
+use maybms_core::{Component, DescId, MayError, Schema};
+
+use crate::order::sorted_row_ids;
 
 /// The `repair key A₁..Aₖ in R [weight by W]` operator.
 ///
@@ -70,7 +72,11 @@ impl ExtOperator for RepairKey {
         Ok(schema.clone())
     }
 
-    fn eval(&self, ctx: &mut EvalCtx<'_>, inputs: Vec<URelation>) -> Result<URelation, MayError> {
+    fn eval(
+        &self,
+        ctx: &mut EvalCtx<'_>,
+        inputs: Vec<ColumnarURelation>,
+    ) -> Result<ColumnarURelation, MayError> {
         let r = &inputs[0];
         if !r.is_certain() {
             return Err(MayError::NotCertain(
@@ -88,37 +94,53 @@ impl ExtOperator for RepairKey {
             .map(|w| r.schema().col_index(w))
             .transpose()?;
 
-        // Deterministic grouping: distinct tuples in canonical order.
-        let mut tuples: Vec<&Tuple> = r.rows().iter().map(|(t, _)| t).collect();
-        tuples.sort_unstable();
-        tuples.dedup();
-        let mut groups: BTreeMap<Vec<Value>, Vec<&Tuple>> = BTreeMap::new();
-        for t in tuples {
-            groups
-                .entry(t.project(&key_idx).values().to_vec())
-                .or_default()
-                .push(t);
-        }
+        // Deterministic grouping on row ids: distinct tuples in canonical
+        // order, then a *stable* re-sort by the key columns — groups appear
+        // in ascending key order, and within a group the members keep their
+        // ascending full-tuple order, so alternative numbering is identical
+        // across runs over equal inputs.
+        let mut perm = sorted_row_ids(r, &ctx.strings);
+        perm.dedup_by(|&mut i, &mut j| r.rows_eq(i as usize, j as usize));
+        perm.sort_by(|&i, &j| {
+            key_idx
+                .iter()
+                .map(|&k| {
+                    r.column(k)
+                        .cmp_cells(i as usize, r.column(k), j as usize, &ctx.strings)
+                })
+                .find(|o| *o != std::cmp::Ordering::Equal)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let key_eq = |i: u32, j: u32| {
+            key_idx
+                .iter()
+                .all(|&k| r.column(k).eq_cells(i as usize, r.column(k), j as usize))
+        };
 
-        // Output tuples are exactly the (schema-checked) input tuples, so
-        // the bulk unchecked path applies throughout.
-        let mut out = URelation::new(r.schema().clone());
-        out.reserve(groups.values().map(Vec::len).sum());
-        for group in groups.values() {
+        let mut descs: Vec<DescId> = Vec::with_capacity(perm.len());
+        let mut start = 0;
+        while start < perm.len() {
+            let mut end = start + 1;
+            while end < perm.len() && key_eq(perm[start], perm[end]) {
+                end += 1;
+            }
+            let group = &perm[start..end];
             if group.len() == 1 {
                 // A unique key value needs no repair: the tuple is certain.
-                out.push_unchecked(group[0].clone(), WsDescriptor::tautology());
+                descs.push(DescId::TAUTOLOGY);
+                start = end;
                 continue;
             }
             let weights: Vec<f64> = match weight_idx {
                 None => vec![1.0; group.len()],
                 Some(wi) => group
                     .iter()
-                    .map(|t| {
-                        t.get(wi).as_f64().ok_or_else(|| {
+                    .map(|&row| {
+                        r.column(wi).cell_f64(row as usize).ok_or_else(|| {
                             MayError::InvalidWeight(format!(
-                                "non-numeric weight {} in tuple {t}",
-                                t.get(wi)
+                                "non-numeric weight {} in tuple {}",
+                                r.column(wi).value(row as usize, &ctx.strings),
+                                r.tuple_at(row as usize, &ctx.strings)
                             ))
                         })
                     })
@@ -128,10 +150,13 @@ impl ExtOperator for RepairKey {
             // weights from e.g. a key group exceeding the alternative limit.
             let component = Component::from_weights(&weights)?;
             let cid = ctx.components.add(component);
-            for (alt, t) in group.iter().enumerate() {
-                out.push_unchecked((*t).clone(), WsDescriptor::single(cid, alt as u16));
+            for alt in 0..group.len() {
+                descs.push(ctx.pool.single(cid, alt as u16));
             }
+            start = end;
         }
-        Ok(out)
+        // Output tuples are exactly the distinct input rows, gathered
+        // column-wise in group order.
+        Ok(r.gather_with_descs(&perm, descs))
     }
 }

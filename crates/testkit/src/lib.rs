@@ -93,6 +93,62 @@ pub fn gen_world_set(rng: &mut Rng, cfg: &GenConfig) -> WorldSet {
     ws
 }
 
+/// Generate a relation exercising *every* value type the columnar layout
+/// stores — ints, floats (including `-0.0` and `NaN`, which round-trip by
+/// bit pattern), strings, booleans, pure-`null` columns, and `NULL`s
+/// sprinkled into typed columns — with random consistent descriptors over
+/// `ws`'s components. Used by the row↔columnar round-trip suite, which the
+/// int-only [`gen_world_set`] cannot cover.
+pub fn gen_mixed_relation(rng: &mut Rng, ws: &WorldSet) -> URelation {
+    const TYPES: [ValueType; 5] = [
+        ValueType::Int,
+        ValueType::Float,
+        ValueType::Str,
+        ValueType::Bool,
+        ValueType::Null,
+    ];
+    let arity = rng.range(1, 4);
+    let schema = Schema::new(
+        (0..arity)
+            .map(|i| maybms_core::Column::new(format!("c{i}"), *rng.pick(&TYPES)))
+            .collect(),
+    )
+    .expect("generated names are distinct");
+    let mut rel = URelation::new(schema.clone());
+    for _ in 0..rng.below(13) {
+        let tuple = Tuple::new(
+            schema
+                .columns()
+                .iter()
+                .map(|c| {
+                    if rng.chance(0.15) {
+                        return Value::Null;
+                    }
+                    match c.ty {
+                        ValueType::Int => Value::Int(rng.below(7) as i64 - 3),
+                        ValueType::Float => {
+                            if rng.chance(0.1) {
+                                Value::float(-0.0)
+                            } else if rng.chance(0.05) {
+                                Value::float(f64::NAN)
+                            } else {
+                                Value::float((rng.below(9) as f64 - 4.0) * 0.5)
+                            }
+                        }
+                        ValueType::Str => Value::str(format!("s{}", rng.below(5))),
+                        ValueType::Bool => Value::Bool(rng.chance(0.5)),
+                        ValueType::Null => Value::Null,
+                    }
+                })
+                .collect(),
+        );
+        let desc = gen_descriptor(rng, ws);
+        rel.push(tuple, desc)
+            .expect("generated tuple matches schema");
+    }
+    rel
+}
+
 /// A random consistent descriptor over the world set's components (possibly
 /// the tautology).
 pub fn gen_descriptor(rng: &mut Rng, ws: &WorldSet) -> WsDescriptor {

@@ -17,7 +17,9 @@
 //! Statements end with `;`. `LET name = <query>;` evaluates a query once and
 //! registers the result as a new relation — the way to share one repair's
 //! components across several later queries. Meta commands: `\d` lists the
-//! relations, `\q` quits, `\help` shows the cheat sheet.
+//! relations, `\stats` shows the last query's executor statistics
+//! (descriptor-pool occupancy and hit rates, string-dictionary size), `\q`
+//! quits, `\help` shows the cheat sheet.
 //!
 //! In `--batch` mode the file is parsed as a script (`--` comments, `;`
 //! separators), each statement is echoed and executed, and the first error
@@ -27,7 +29,7 @@
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
-use maybms::algebra::run;
+use maybms::algebra::{run_with_stats, ExecStats};
 use maybms::core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
 use maybms::sql::lexer::{lex, TokenKind};
 use maybms::sql::{parse_script, parse_statement, Catalog, Statement};
@@ -95,10 +97,11 @@ fn batch(ws: &mut WorldSet, path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut last_stats = None;
     for stmt in &statements {
         let span = stmt.span();
         println!("mayql> {};", &src[span.start..span.end]);
-        if let Err(msg) = execute(ws, stmt, &src) {
+        if let Err(msg) = execute(ws, stmt, &src, &mut last_stats) {
             eprint!("{msg}");
             return ExitCode::FAILURE;
         }
@@ -111,6 +114,7 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
     println!("Preloaded: censusform(name, ssn, w) — the paper's running example.");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    let mut last_stats: Option<ExecStats> = None;
     loop {
         print!(
             "{}",
@@ -135,6 +139,7 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
             match trimmed {
                 "\\q" | "\\quit" => return ExitCode::SUCCESS,
                 "\\d" => describe(ws),
+                "\\stats" => stats(&last_stats),
                 "\\help" | "\\h" => help(),
                 other => println!("unknown command `{other}`; try \\help"),
             }
@@ -157,7 +162,7 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
         match parse_statement(&src) {
             Err(e) => eprint!("{}", e.render(&src)),
             Ok(stmt) => {
-                if let Err(msg) = execute(ws, &stmt, &src) {
+                if let Err(msg) = execute(ws, &stmt, &src, &mut last_stats) {
                     eprint!("{msg}");
                 }
             }
@@ -170,15 +175,22 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
 /// later query that scans it. `src` is the statement's source text (for the
 /// batch mode, the whole script — spans index into it either way), so
 /// semantic errors render with the same caret diagnostics as parse errors.
-/// Runtime errors carry no span and print as a plain message.
-fn execute(ws: &mut WorldSet, stmt: &Statement, src: &str) -> Result<(), String> {
+/// Runtime errors carry no span and print as a plain message. Each run's
+/// executor statistics are kept in `last_stats` for the `\stats` command.
+fn execute(
+    ws: &mut WorldSet,
+    stmt: &Statement,
+    src: &str,
+    last_stats: &mut Option<ExecStats>,
+) -> Result<(), String> {
     let catalog = Catalog::from_world_set(ws);
     match stmt {
         Statement::Query(query) => {
             let plan = maybms::sql::lower(&catalog, query)
                 .map(|(plan, _)| plan)
                 .map_err(|e| e.render(src))?;
-            let result = run(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
+            let (result, stats) = run_with_stats(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
+            *last_stats = Some(stats);
             print!("{result}");
             println!("({} rows)", result.len());
             Ok(())
@@ -187,7 +199,8 @@ fn execute(ws: &mut WorldSet, stmt: &Statement, src: &str) -> Result<(), String>
             let plan = maybms::sql::lower(&catalog, query)
                 .map(|(plan, _)| plan)
                 .map_err(|e| e.render(src))?;
-            let result = run(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
+            let (result, stats) = run_with_stats(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
+            *last_stats = Some(stats);
             let rows = result.len();
             ws.insert(name.name.clone(), result)
                 .map_err(|e| format!("error: {e}\n"))?;
@@ -195,6 +208,39 @@ fn execute(ws: &mut WorldSet, stmt: &Statement, src: &str) -> Result<(), String>
             Ok(())
         }
     }
+}
+
+/// Print the last query's executor statistics (the `\stats` meta-command):
+/// descriptor-pool occupancy with intern/conjoin hit rates, and the string
+/// dictionary size — the observability window into the columnar execution
+/// core.
+fn stats(last: &Option<ExecStats>) {
+    let Some(s) = last else {
+        println!("no query has run yet in this session");
+        return;
+    };
+    let p = s.pool;
+    println!("last query:");
+    println!(
+        "  descriptor pool: {} distinct ({} spilled past inline capacity)",
+        s.descriptors, s.descriptors_spilled
+    );
+    println!(
+        "  interning:       {} hits / {} calls ({:.1}% shared)",
+        p.intern_hits,
+        p.intern_calls,
+        if p.intern_calls == 0 {
+            0.0
+        } else {
+            p.intern_hits as f64 / p.intern_calls as f64 * 100.0
+        }
+    );
+    println!(
+        "  conjunctions:    {} calls ({} shortcut, {} inconsistent)",
+        p.conjoin_calls, p.conjoin_shortcuts, p.conjoin_inconsistent
+    );
+    println!("  string dict:     {} distinct strings", s.strings);
+    println!("  output:          {} rows", s.output_rows);
 }
 
 fn describe(ws: &WorldSet) {
@@ -218,6 +264,7 @@ fn help() {
          LET name = <query>;   -- materialize a result as a relation\n\
          meta commands:\n  \
          \\d      list relations and schemas\n  \
+         \\stats  executor statistics of the last query\n  \
          \\help   this help\n  \
          \\q      quit"
     );
