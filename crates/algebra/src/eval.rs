@@ -74,6 +74,9 @@ pub struct EvalCtx<'a> {
     /// re-running it would mint fresh components for each occurrence and
     /// silently decorrelate what the plan author shares deliberately.
     ext_cache: FxHashMap<usize, ColumnarURelation>,
+    /// Dedup sweeps skipped because a plan property proved them redundant
+    /// (surfaced through [`ExecStats::dedups_elided`]).
+    dedups_elided: usize,
 }
 
 impl<'a> EvalCtx<'a> {
@@ -89,6 +92,7 @@ impl<'a> EvalCtx<'a> {
             pool: DescriptorPool::new(),
             strings: StrPool::new(),
             ext_cache: FxHashMap::default(),
+            dedups_elided: 0,
         }
     }
 }
@@ -110,6 +114,9 @@ pub struct ExecStats {
     pub strings: usize,
     /// Rows in the final result.
     pub output_rows: usize,
+    /// Deduplication sweeps skipped because a derived plan property
+    /// (distinctness, descriptor-triviality) proved them redundant.
+    pub dedups_elided: usize,
 }
 
 /// A flat chained-bucket hash index over row slots: `heads[bucket]` points
@@ -367,6 +374,7 @@ pub fn run_with_stats(ws: &mut WorldSet, plan: &Plan) -> Result<(URelation, Exec
         pool: ctx.pool.stats(),
         strings: ctx.strings.len(),
         output_rows: result.len(),
+        dedups_elided: ctx.dedups_elided,
     };
     Ok((result, stats))
 }
@@ -425,6 +433,10 @@ fn eval_batch<'s>(
         Plan::Project { input, columns } => {
             let b = eval_batch(input, scans, ctx)?;
             let (schema, idx) = b.schema.project(columns)?;
+            // Dedup elision: a projection that keeps every input column is
+            // a permutation, so a provably duplicate-free input stays
+            // duplicate-free — the set-semantics sweep would be a no-op.
+            let permutation = idx.len() == b.schema.arity();
             // A pure column-pointer shuffle: each output column *moves* the
             // input's reference (projection indices are unique, so every
             // source column is taken at most once — no data is copied).
@@ -439,7 +451,11 @@ fn eval_batch<'s>(
                 descs: b.descs,
                 sel: b.sel,
             };
-            out.dedup(&ctx.pool);
+            if permutation && input.is_distinct() {
+                ctx.dedups_elided += 1;
+            } else {
+                out.dedup(&ctx.pool);
+            }
             Ok(out)
         }
         Plan::NaturalJoin { left, right } => {
@@ -501,7 +517,18 @@ fn eval_batch<'s>(
                 descs: Cow::Owned(descs),
                 sel: None,
             };
-            out.dedup(&ctx.pool);
+            // Dedup elision: joining certain, duplicate-free inputs cannot
+            // produce duplicates — distinct row pairs differ in some kept
+            // column (a shared-column difference would have failed the key
+            // match), and all descriptors conjoin to the trivial one. With
+            // uncertain inputs the sweep stays: distinct descriptors can
+            // *conjoin* to equal descriptors (absorption), duplicating rows.
+            if left.is_certain() && left.is_distinct() && right.is_certain() && right.is_distinct()
+            {
+                ctx.dedups_elided += 1;
+            } else {
+                out.dedup(&ctx.pool);
+            }
             Ok(out)
         }
         Plan::Union { left, right } => {
@@ -557,39 +584,12 @@ fn eval_batch<'s>(
     }
 }
 
-/// Infer the output schema of a plan without evaluating it.
+/// Infer the output schema of a plan without evaluating it. This is the
+/// relation-map convenience form of [`Plan::schema_with`], which accepts
+/// any [`crate::optimize::SchemaProvider`].
 pub fn infer_schema(
     plan: &Plan,
     relations: &BTreeMap<String, URelation>,
 ) -> Result<Schema, MayError> {
-    match plan {
-        Plan::Scan(name) => relations
-            .get(name)
-            .map(|r| r.schema().clone())
-            .ok_or_else(|| MayError::UnknownRelation(name.clone())),
-        Plan::Select { input, predicate } => {
-            let s = infer_schema(input, relations)?;
-            // Bind to surface unknown-column errors at planning time.
-            predicate.bind(&s)?;
-            Ok(s)
-        }
-        Plan::Project { input, columns } => Ok(infer_schema(input, relations)?.project(columns)?.0),
-        Plan::NaturalJoin { left, right } => Ok(infer_schema(left, relations)?
-            .natural_join(&infer_schema(right, relations)?)?
-            .schema),
-        Plan::Union { left, right } => {
-            let l = infer_schema(left, relations)?;
-            l.union_compatible(&infer_schema(right, relations)?)?;
-            Ok(l)
-        }
-        Plan::Rename { input, renames } => Ok(infer_schema(input, relations)?.rename(renames)?),
-        Plan::Ext(op) => {
-            let schemas = op
-                .inputs()
-                .into_iter()
-                .map(|p| infer_schema(p, relations))
-                .collect::<Result<Vec<_>, _>>()?;
-            op.output_schema(&schemas)
-        }
-    }
+    plan.schema_with(relations)
 }

@@ -8,6 +8,52 @@ use maybms_core::{MayError, Schema};
 use crate::eval::EvalCtx;
 use crate::plan::Plan;
 
+/// Algebraic properties of an extension operator, consulted by the logical
+/// optimizer ([`mod@crate::optimize`]). The defaults are maximally conservative
+/// — an operator that declares nothing is treated as an opaque barrier no
+/// rewrite crosses — so implementing [`ExtOperator::props`] is opt-in and
+/// omitting it is always sound, merely slower.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtProps {
+    /// Selections commute with the operator: `σ_p(op(R)) = op(σ_p(R))`
+    /// whenever every column of `p` exists in the operator's *input* schema.
+    /// True for `possible`/`certain` (they decide per tuple whether it
+    /// occurs in some/every world) and for `conf` (a tuple's confidence
+    /// depends only on its own descriptors, so dropping other tuples first
+    /// changes nothing — and the input-schema guard keeps predicates over
+    /// the appended `conf` column from crossing).
+    ///
+    /// Only operators that are deterministic and mint no components may
+    /// declare either commutation flag: a commuted rewrite is inherently
+    /// per-occurrence, so a shared (`Arc`-identical) node can split into
+    /// distinct rebuilt nodes that the executor evaluates separately.
+    pub commutes_with_select: bool,
+    /// Projections commute with the operator: `π_c(op(R)) = op(π_c(R))`.
+    /// True for `possible` (a projected tuple is in *some* world iff some
+    /// extension of it is); **false for `certain`** — two rows differing
+    /// only in a dropped column, under descriptors that jointly cover all
+    /// worlds, make the projected tuple certain while neither full tuple
+    /// is — and false for `conf` (projection changes which rows count as
+    /// one tuple) and `repair-key` (grouping and weights read columns a
+    /// projection could drop). The sharing caveat on
+    /// [`commutes_with_select`](ExtProps::commutes_with_select) applies.
+    pub commutes_with_project: bool,
+    /// The operator's input must stay a normalized certain relation
+    /// (duplicate-free, every descriptor trivial) — `repair-key`'s
+    /// contract. The optimizer refuses any input rewrite that cannot be
+    /// shown to preserve provable certainty.
+    pub requires_normalized_input: bool,
+    /// The output never contains two equal `(tuple, descriptor)` rows.
+    pub distinct_output: bool,
+    /// Every output row carries the trivial descriptor (the result is a
+    /// certain relation).
+    pub certain_output: bool,
+    /// On an input that is provably certain and duplicate-free the operator
+    /// is the identity (up to row order) and can be elided: `possible` and
+    /// `certain` of a certain set are that set.
+    pub identity_on_certain: bool,
+}
+
 /// An operator plugged into the plan IR from a higher layer.
 ///
 /// Extension operators receive their already-evaluated inputs plus the
@@ -48,6 +94,26 @@ pub trait ExtOperator: fmt::Debug + Send + Sync {
     ///
     /// [`inputs`]: ExtOperator::inputs
     fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
+        let _ = inputs;
+        None
+    }
+
+    /// The operator's algebraic properties (see [`ExtProps`]). The default
+    /// declares nothing, which makes the operator an opaque barrier to the
+    /// optimizer.
+    fn props(&self) -> ExtProps {
+        ExtProps::default()
+    }
+
+    /// Rebuild this operator (same parameters) over new input plans, in
+    /// [`inputs`] order. Returning `None` (the default) marks the operator
+    /// opaque to plan rewrites: the optimizer will neither optimize its
+    /// inputs nor commute anything across it. Implementations must return a
+    /// plan that evaluates exactly like the original on inputs that evaluate
+    /// exactly like the originals.
+    ///
+    /// [`inputs`]: ExtOperator::inputs
+    fn with_inputs(&self, inputs: Vec<Plan>) -> Option<Plan> {
         let _ = inputs;
         None
     }

@@ -25,6 +25,14 @@
 //! access to the component set (the extension ABI is columnar too).
 //! `maybms-ql` uses it for `repair-key`, `possible`, `certain`, and `conf`.
 //!
+//! Between lowering and execution sits the **logical optimizer**
+//! ([`mod@optimize`]): a fixpoint rewriter that pushes selections through
+//! projections, renames, unions, join inputs, and commuting uncertainty
+//! operators, prunes projections down to the columns consumers need, and
+//! elides operators that derived plan properties (schema, distinctness,
+//! descriptor-triviality) prove redundant. Extension operators opt into
+//! rewrites by declaring [`ext::ExtProps`].
+//!
 //! [`naive`] evaluates the same plans with the textbook single-world
 //! algebra, which is what the differential tests run inside each enumerated
 //! world.
@@ -32,10 +40,12 @@
 pub mod eval;
 pub mod ext;
 pub mod naive;
+pub mod optimize;
 pub mod plan;
 pub mod predicate;
 
 pub use eval::{infer_schema, run, run_with_stats, EvalCtx, ExecStats};
-pub use ext::ExtOperator;
+pub use ext::{ExtOperator, ExtProps};
+pub use optimize::{optimize, PlanProps, SchemaProvider};
 pub use plan::Plan;
 pub use predicate::{col, lit, CmpOp, Operand, Predicate};

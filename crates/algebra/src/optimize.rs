@@ -1,0 +1,765 @@
+//! The logical plan optimizer: an algebraic rewrite layer between lowering
+//! and execution.
+//!
+//! The paper's central claim is that its uncertainty constructs form a
+//! *compositional algebra*: `possible` and `certain` commute with the
+//! positive relational algebra, and selections and projections rewrite
+//! across operator boundaries exactly as in a classical optimizer. This
+//! module exploits that: [`optimize`] runs a small fixpoint rewriter over
+//! [`Plan`]s whose rules are justified one-for-one by algebraic
+//! equivalences on world-set decompositions:
+//!
+//! | rule | equivalence | why it is sound on WSDs |
+//! |------|-------------|--------------------------|
+//! | selection pushdown | `σ_p(π(R)) = π(σ_p(R))`, `σ_p(ρ(R)) = ρ(σ_{p'}(R))`, `σ_p(R ∪ S) = σ_p(R) ∪ σ_p(S)`, `σ_p(R ⋈ S) = σ_p(R) ⋈ S` for `cols(p) ⊆ R` | selection reads tuple cells only and never touches descriptors |
+//! | selection merge | `σ_p(σ_q(R)) = σ_{p∧q}(R)` | one sweep, and `∧` splits at the next join |
+//! | projection collapse | `π_a(π_b(R)) = π_a(R)` for `a ⊆ b` | both sides deduplicate under the outer projection |
+//! | projection pruning | `π_a(R ⋈ S) = π_a(π_{a∪keys}(R) ⋈ π_{a∪keys}(S))` | rows collapsed early are exact `(tuple, descriptor)` duplicates in the projected space, which the enclosing projection collapses anyway |
+//! | quantifier commuting | `σ_p(possible(R)) = possible(σ_p(R))`, same for `certain` and `conf`; `π_c(possible(R)) = possible(π_c(R))` — π does **not** commute with `certain` | declared per operator via [`ExtOperator::props`]; world-collapsing then runs on the smallest intermediate |
+//! | quantifier elision | `possible(R) = certain(R) = R` when `R` is provably certain and duplicate-free | every descriptor is trivial, so "some world" and "every world" both mean "the relation itself" |
+//!
+//! Rules fire only when a derived plan property proves them sound; the
+//! properties ([`Plan::schema_with`], [`Plan::is_distinct`],
+//! [`Plan::is_certain`], bundled by [`Plan::props_with`]) are computed
+//! structurally against a [`SchemaProvider`], so every layer that owns
+//! schemas (the executor's relation map, the MayQL catalog) can drive the
+//! optimizer.
+//!
+//! Extension operators participate through two hooks on
+//! [`ExtOperator`]: [`props`][ExtOperator::props] declares the algebraic
+//! properties above, and [`with_inputs`][ExtOperator::with_inputs] rebuilds
+//! the operator over rewritten inputs. Operators that implement neither are
+//! opaque barriers — sound, just never rewritten across.
+//!
+//! **Sharing discipline.** Within one plan, a *shared* extension subtree
+//! (the same `Arc`, e.g. a `repair-key` used on both sides of a join) must
+//! stay shared: the executor evaluates shared subtrees once so both
+//! occurrences see the same minted components. The rewriter therefore
+//! memoizes pure input rewrites of extension nodes by `Arc` identity —
+//! every occurrence of a shared node maps to one rewritten node. The
+//! exception is *commuted* rewrites (a selection or projection crossing
+//! into the operator), which are inherently per-occurrence: each occurrence
+//! absorbs its own surrounding predicate, so a shared node may split into
+//! distinct rebuilt nodes. That is exactly why declaring
+//! [`commutes_with_select`]/[`commutes_with_project`] is restricted to
+//! deterministic operators that mint nothing — splitting such a node
+//! duplicates work at worst, never meaning. Operators that declare
+//! [`ExtProps::requires_normalized_input`] additionally get a guard: their
+//! inputs are only replaced by rewrites that preserve provable certainty.
+//!
+//! [`commutes_with_select`]: crate::ext::ExtProps::commutes_with_select
+//! [`commutes_with_project`]: crate::ext::ExtProps::commutes_with_project
+//!
+//! [`ExtProps::requires_normalized_input`]: crate::ext::ExtProps::requires_normalized_input
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use maybms_core::{FxHashMap, MayError, Schema, URelation};
+
+use crate::ext::ExtOperator;
+use crate::plan::Plan;
+use crate::predicate::Predicate;
+
+/// A source of base-relation schemas, the only context the optimizer (and
+/// plan schema inference) needs. Implemented for the executor's relation
+/// map, for a plain name → schema map, and — in `maybms-sql` — for the
+/// MayQL catalog.
+pub trait SchemaProvider {
+    /// The schema of the named base relation, if known.
+    fn base_schema(&self, name: &str) -> Option<&Schema>;
+}
+
+impl SchemaProvider for BTreeMap<String, Schema> {
+    fn base_schema(&self, name: &str) -> Option<&Schema> {
+        self.get(name)
+    }
+}
+
+impl SchemaProvider for BTreeMap<String, URelation> {
+    fn base_schema(&self, name: &str) -> Option<&Schema> {
+        self.get(name).map(|r| r.schema())
+    }
+}
+
+/// The derived properties of a plan: its output schema plus the two
+/// structural facts the rewrite rules condition on.
+#[derive(Clone, Debug)]
+pub struct PlanProps {
+    /// The output schema.
+    pub schema: Schema,
+    /// Provably duplicate-free output (see [`Plan::is_distinct`]).
+    pub distinct: bool,
+    /// Provably certain output — every descriptor trivial (see
+    /// [`Plan::is_certain`]).
+    pub certain: bool,
+}
+
+impl Plan {
+    /// Infer the plan's output schema against a [`SchemaProvider`] —
+    /// the provider-generic form of [`crate::eval::infer_schema`].
+    pub fn schema_with(&self, schemas: &dyn SchemaProvider) -> Result<Schema, MayError> {
+        match self {
+            Plan::Scan(name) => schemas
+                .base_schema(name)
+                .cloned()
+                .ok_or_else(|| MayError::UnknownRelation(name.clone())),
+            Plan::Select { input, predicate } => {
+                let s = input.schema_with(schemas)?;
+                // Bind to surface unknown-column errors at planning time.
+                predicate.bind(&s)?;
+                Ok(s)
+            }
+            Plan::Project { input, columns } => Ok(input.schema_with(schemas)?.project(columns)?.0),
+            Plan::NaturalJoin { left, right } => Ok(left
+                .schema_with(schemas)?
+                .natural_join(&right.schema_with(schemas)?)?
+                .schema),
+            Plan::Union { left, right } => {
+                let l = left.schema_with(schemas)?;
+                l.union_compatible(&right.schema_with(schemas)?)?;
+                Ok(l)
+            }
+            Plan::Rename { input, renames } => Ok(input.schema_with(schemas)?.rename(renames)?),
+            Plan::Ext(op) => {
+                let inputs = op
+                    .inputs()
+                    .into_iter()
+                    .map(|p| p.schema_with(schemas))
+                    .collect::<Result<Vec<_>, _>>()?;
+                op.output_schema(&inputs)
+            }
+        }
+    }
+
+    /// All derived properties at once (schema, distinctness,
+    /// descriptor-triviality).
+    pub fn props_with(&self, schemas: &dyn SchemaProvider) -> Result<PlanProps, MayError> {
+        Ok(PlanProps {
+            schema: self.schema_with(schemas)?,
+            distinct: self.is_distinct(),
+            certain: self.is_certain(),
+        })
+    }
+}
+
+/// Upper bound on rewrite passes; real plans converge in two or three, the
+/// cap only guards against a pathological rule interaction cycling forever.
+const MAX_PASSES: usize = 8;
+
+/// Optimize a plan: run the pushdown/commuting rules and the projection
+/// pruner to fixpoint. The result evaluates to the same u-relation as the
+/// input (up to row order) on every world set whose base relations match
+/// the provider's schemas; the differential test suite checks exactly that
+/// on randomized plans and world sets.
+pub fn optimize(plan: &Plan, schemas: &dyn SchemaProvider) -> Result<Plan, MayError> {
+    let mut p = plan.clone();
+    for _ in 0..MAX_PASSES {
+        let mut pass = Pass::new(schemas);
+        p = pass.pushdown(p)?;
+        p = pass.prune(p, None)?;
+        if pass.rewrites == 0 {
+            break;
+        }
+    }
+    Ok(p)
+}
+
+/// One rewrite pass: a pushdown/commuting sweep followed by a projection
+/// pruning sweep, with per-pass memoization of extension-node rewrites.
+struct Pass<'a> {
+    schemas: &'a dyn SchemaProvider,
+    /// Rules fired this pass (drives the fixpoint loop).
+    rewrites: usize,
+    /// Pushdown results for extension nodes, by `Arc` identity — a shared
+    /// subtree rewrites to one shared result.
+    push_memo: FxHashMap<usize, Plan>,
+    /// Pruning results for barrier extension nodes, by `Arc` identity.
+    prune_memo: FxHashMap<usize, Plan>,
+}
+
+/// Flatten a predicate's top-level conjunction into conjuncts.
+fn conjuncts(p: Predicate, out: &mut Vec<Predicate>) {
+    match p {
+        Predicate::And(ps) => {
+            for q in ps {
+                conjuncts(q, out);
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+/// Rebuild a conjunction from conjuncts (`None` when empty).
+fn and_of(mut ps: Vec<Predicate>) -> Option<Predicate> {
+    match ps.len() {
+        0 => None,
+        1 => ps.pop(),
+        _ => Some(Predicate::And(ps)),
+    }
+}
+
+impl<'a> Pass<'a> {
+    fn new(schemas: &'a dyn SchemaProvider) -> Self {
+        Pass {
+            schemas,
+            rewrites: 0,
+            push_memo: FxHashMap::default(),
+            prune_memo: FxHashMap::default(),
+        }
+    }
+
+    /// The pushdown/commuting sweep: selections sink toward scans (through
+    /// projections, renames, unions, into join inputs, and across
+    /// commuting extension operators), adjacent selections merge, nested
+    /// projections collapse, and redundant operators (identity projections,
+    /// quantifiers over certain duplicate-free inputs) are elided.
+    fn pushdown(&mut self, plan: Plan) -> Result<Plan, MayError> {
+        match plan {
+            Plan::Scan(_) => Ok(plan),
+            Plan::Select { input, predicate } => {
+                let input = self.pushdown(*input)?;
+                self.push_select(input, predicate)
+            }
+            Plan::Project { mut input, columns } => {
+                let mut inner = self.pushdown(*input)?;
+                // π_a(π_b(X)) → π_a(X): `a ⊆ b` by typing, and both sides
+                // deduplicate under the outer projection.
+                while let Plan::Project { input: i2, .. } = inner {
+                    self.rewrites += 1;
+                    inner = *i2; // already swept as part of this pass
+                }
+                // An identity projection over a provably duplicate-free
+                // input neither reorders nor deduplicates anything.
+                if inner.is_distinct() {
+                    let schema = inner.schema_with(self.schemas)?;
+                    if schema.names() == columns.iter().map(String::as_str).collect::<Vec<_>>() {
+                        self.rewrites += 1;
+                        return Ok(inner);
+                    }
+                }
+                *input = inner;
+                Ok(Plan::Project { input, columns })
+            }
+            Plan::Rename { mut input, renames } => {
+                let inner = self.pushdown(*input)?;
+                if renames.is_empty() {
+                    self.rewrites += 1;
+                    return Ok(inner);
+                }
+                *input = inner;
+                Ok(Plan::Rename { input, renames })
+            }
+            Plan::NaturalJoin { left, right } => {
+                Ok(self.pushdown(*left)?.join(self.pushdown(*right)?))
+            }
+            Plan::Union { left, right } => Ok(self.pushdown(*left)?.union(self.pushdown(*right)?)),
+            Plan::Ext(op) => self.push_ext(op),
+        }
+    }
+
+    /// Push one selection as deep as its column set allows. `input` has
+    /// already been swept by [`Pass::pushdown`].
+    fn push_select(&mut self, input: Plan, pred: Predicate) -> Result<Plan, MayError> {
+        if matches!(pred, Predicate::True) {
+            self.rewrites += 1;
+            return Ok(input);
+        }
+        match input {
+            // σ_p(σ_q(X)) → σ_{q∧p}(X): one sweep, and the conjunction
+            // splits per side at the next join below.
+            Plan::Select {
+                input: i2,
+                predicate: q,
+            } => {
+                self.rewrites += 1;
+                self.push_select(*i2, Predicate::And(vec![q, pred]))
+            }
+            // σ_p(π_c(X)) → π_c(σ_p(X)): p only reads columns of c.
+            Plan::Project { input: i2, columns } => {
+                self.rewrites += 1;
+                Ok(self.push_select(*i2, pred)?.project(columns))
+            }
+            // σ_p(ρ(X)) → ρ(σ_{p'}(X)) with p's columns mapped back
+            // through the renaming (simultaneously, so swaps resolve).
+            Plan::Rename { input: i2, renames } => {
+                self.rewrites += 1;
+                let back: FxHashMap<&str, &str> = renames
+                    .iter()
+                    .map(|(o, n)| (n.as_str(), o.as_str()))
+                    .collect();
+                let pred = pred
+                    .map_columns(&|c| back.get(c).map_or_else(|| c.to_string(), |o| o.to_string()));
+                Ok(self.push_select(*i2, pred)?.rename(renames))
+            }
+            // σ_p(X ∪ Y) → σ_p(X) ∪ σ_p(Y).
+            Plan::Union { left, right } => {
+                self.rewrites += 1;
+                let l = self.push_select(*left, pred.clone())?;
+                let r = self.push_select(*right, pred)?;
+                Ok(l.union(r))
+            }
+            // σ_p(X ⋈ Y): each conjunct sinks into the side that has all
+            // of its columns; conjuncts spanning both sides stay above.
+            Plan::NaturalJoin { left, right } => {
+                let ls = left.schema_with(self.schemas)?;
+                let rs = right.schema_with(self.schemas)?;
+                let mut parts = Vec::new();
+                conjuncts(pred, &mut parts);
+                let (mut to_l, mut to_r, mut keep) = (Vec::new(), Vec::new(), Vec::new());
+                for c in parts {
+                    let mut cols = BTreeSet::new();
+                    c.columns(&mut cols);
+                    if cols.iter().all(|n| ls.col_index(n).is_ok()) {
+                        to_l.push(c);
+                    } else if cols.iter().all(|n| rs.col_index(n).is_ok()) {
+                        to_r.push(c);
+                    } else {
+                        keep.push(c);
+                    }
+                }
+                if to_l.is_empty() && to_r.is_empty() {
+                    let joined = left.join(*right);
+                    return Ok(match and_of(keep) {
+                        Some(p) => joined.select(p),
+                        None => joined,
+                    });
+                }
+                self.rewrites += 1;
+                let l = match and_of(to_l) {
+                    Some(p) => self.push_select(*left, p)?,
+                    None => *left,
+                };
+                let r = match and_of(to_r) {
+                    Some(p) => self.push_select(*right, p)?,
+                    None => *right,
+                };
+                let joined = l.join(r);
+                Ok(match and_of(keep) {
+                    Some(p) => joined.select(p),
+                    None => joined,
+                })
+            }
+            // σ_p(op(X)) → op(σ_p(X)) when the operator declares the
+            // commutation, applied per conjunct: conjuncts reading only
+            // columns of op's *input* cross, conjuncts over produced
+            // columns (e.g. `conf`) stay above.
+            Plan::Ext(op) => {
+                let mut pred = pred;
+                let props = op.props();
+                if props.commutes_with_select && op.inputs().len() == 1 {
+                    let in_schema = op.inputs()[0].schema_with(self.schemas)?;
+                    let mut parts = Vec::new();
+                    conjuncts(pred, &mut parts);
+                    let (mut cross, mut keep) = (Vec::new(), Vec::new());
+                    for c in parts {
+                        let mut cols = BTreeSet::new();
+                        c.columns(&mut cols);
+                        if cols.iter().all(|n| in_schema.col_index(n).is_ok()) {
+                            cross.push(c);
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                    if let Some(p) = and_of(cross.clone()) {
+                        let before = self.rewrites;
+                        let pushed = self.push_select(op.inputs()[0].clone(), p)?;
+                        if let Some(rebuilt) = op.with_inputs(vec![pushed]) {
+                            self.rewrites += 1;
+                            return Ok(match and_of(keep) {
+                                Some(q) => rebuilt.select(q),
+                                None => rebuilt,
+                            });
+                        }
+                        // No rebuild hook: roll back and keep σ above.
+                        self.rewrites = before;
+                    }
+                    cross.extend(keep);
+                    pred = and_of(cross).expect("conjuncts of a non-True predicate");
+                }
+                let before = self.rewrites;
+                let node = self.push_ext(op)?;
+                if self.rewrites > before {
+                    // The node changed shape (e.g. a quantifier elided);
+                    // the selection may sink further into the new shape.
+                    self.push_select(node, pred)
+                } else {
+                    Ok(node.select(pred))
+                }
+            }
+            other @ Plan::Scan(_) => Ok(other.select(pred)),
+        }
+    }
+
+    /// Sweep an extension node: rewrite its inputs (memoized by `Arc`
+    /// identity so shared subtrees stay shared) and elide the operator
+    /// entirely when its properties prove it the identity.
+    fn push_ext(&mut self, op: Arc<dyn ExtOperator>) -> Result<Plan, MayError> {
+        let key = Arc::as_ptr(&op) as *const () as usize;
+        if let Some(done) = self.push_memo.get(&key) {
+            return Ok(done.clone());
+        }
+        let before = self.rewrites;
+        let rewritten = op
+            .inputs()
+            .into_iter()
+            .cloned()
+            .map(|p| self.pushdown(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        let node = if self.rewrites == before {
+            Plan::Ext(Arc::clone(&op))
+        } else {
+            self.rebuild(&op, rewritten, before)
+        };
+        if let Plan::Ext(op2) = &node {
+            let props = op2.props();
+            if props.identity_on_certain && op2.inputs().len() == 1 {
+                let input = op2.inputs()[0];
+                if input.is_certain() && input.is_distinct() {
+                    let out = input.clone();
+                    self.rewrites += 1;
+                    self.push_memo.insert(key, out.clone());
+                    return Ok(out);
+                }
+            }
+        }
+        self.push_memo.insert(key, node.clone());
+        Ok(node)
+    }
+
+    /// Rebuild an extension operator over rewritten inputs, refusing the
+    /// rewrite (and rolling the rewrite count back to `before`) when the
+    /// operator has no rebuild hook, or when it requires normalized input
+    /// and a rewritten input lost its provable certainty.
+    fn rebuild(&mut self, op: &Arc<dyn ExtOperator>, inputs: Vec<Plan>, before: usize) -> Plan {
+        if op.props().requires_normalized_input {
+            let preserved = op
+                .inputs()
+                .iter()
+                .zip(&inputs)
+                .all(|(orig, new)| !orig.is_certain() || new.is_certain());
+            if !preserved {
+                self.rewrites = before;
+                return Plan::Ext(Arc::clone(op));
+            }
+        }
+        match op.with_inputs(inputs) {
+            Some(rebuilt) => rebuilt,
+            None => {
+                self.rewrites = before;
+                Plan::Ext(Arc::clone(op))
+            }
+        }
+    }
+
+    /// The projection pruning sweep (top-down): `required` is the set of
+    /// columns some enclosing projection will keep — `None` means all.
+    /// Requirements flow through selections (plus their predicate columns),
+    /// renames (mapped back), unions, and commuting extension operators,
+    /// and at a join each input is narrowed to its required columns plus
+    /// the join keys, so the join materializes (gathers) only columns a
+    /// consumer needs. Narrowing is sound because every `required` set
+    /// originates at a projection, whose set semantics collapse exactly the
+    /// rows the early narrowing collapses.
+    fn prune(&mut self, plan: Plan, required: Option<&BTreeSet<String>>) -> Result<Plan, MayError> {
+        match plan {
+            Plan::Scan(_) => Ok(plan),
+            Plan::Select {
+                mut input,
+                predicate,
+            } => {
+                let req2 = required.map(|r| {
+                    let mut s = r.clone();
+                    predicate.columns(&mut s);
+                    s
+                });
+                *input = self.prune(*input, req2.as_ref())?;
+                Ok(Plan::Select { input, predicate })
+            }
+            Plan::Project { mut input, columns } => {
+                let cols = match required {
+                    Some(req) => {
+                        let kept: Vec<String> = columns
+                            .iter()
+                            .filter(|c| req.contains(*c))
+                            .cloned()
+                            .collect();
+                        if kept.len() != columns.len() && !kept.is_empty() {
+                            self.rewrites += 1;
+                            kept
+                        } else {
+                            columns
+                        }
+                    }
+                    None => columns,
+                };
+                let req2: BTreeSet<String> = cols.iter().cloned().collect();
+                *input = self.prune(*input, Some(&req2))?;
+                Ok(Plan::Project {
+                    input,
+                    columns: cols,
+                })
+            }
+            Plan::Rename { input, renames } => {
+                let input = match required {
+                    None => self.prune(*input, None)?,
+                    Some(req) => {
+                        // The rename node itself is metadata-only, so every
+                        // pair is kept and every pair's *source* column is
+                        // required below — dropping a pair (or its source)
+                        // could leave the source column alive under its old
+                        // name and collide with another pair's target (a
+                        // swap like `a → b, b → a` pruned to one pair would
+                        // rename onto a still-existing column). Surviving
+                        // requirements map back through the renaming.
+                        let mut req2: BTreeSet<String> = req
+                            .iter()
+                            .map(|n| match renames.iter().find(|(_, new)| new == n) {
+                                Some((old, _)) => old.clone(),
+                                None => n.clone(),
+                            })
+                            .collect();
+                        for (old, _) in &renames {
+                            req2.insert(old.clone());
+                        }
+                        self.prune(*input, Some(&req2))?
+                    }
+                };
+                if renames.is_empty() {
+                    self.rewrites += 1;
+                    return Ok(input);
+                }
+                Ok(Plan::Rename {
+                    input: Box::new(input),
+                    renames,
+                })
+            }
+            Plan::NaturalJoin { left, right } => {
+                let Some(req) = required else {
+                    let l = self.prune(*left, None)?;
+                    let r = self.prune(*right, None)?;
+                    return Ok(l.join(r));
+                };
+                let ls = left.schema_with(self.schemas)?;
+                let rs = right.schema_with(self.schemas)?;
+                let shared: BTreeSet<&str> = ls
+                    .names()
+                    .into_iter()
+                    .filter(|n| rs.col_index(n).is_ok())
+                    .collect();
+                let side_req = |s: &Schema| -> BTreeSet<String> {
+                    s.names()
+                        .into_iter()
+                        .filter(|n| req.contains(*n) || shared.contains(n))
+                        .map(str::to_string)
+                        .collect()
+                };
+                let (lreq, rreq) = (side_req(&ls), side_req(&rs));
+                let l = self.prune(*left, Some(&lreq))?;
+                let l = self.narrow(l, &lreq)?;
+                let r = self.prune(*right, Some(&rreq))?;
+                let r = self.narrow(r, &rreq)?;
+                Ok(l.join(r))
+            }
+            Plan::Union { left, right } => {
+                let l = self.prune(*left, required)?;
+                let r = self.prune(*right, required)?;
+                match required {
+                    // Both sides narrow to the same required subset (their
+                    // schemas are union-compatible), keeping the union
+                    // union-compatible.
+                    Some(req) => Ok(self.narrow(l, req)?.union(self.narrow(r, req)?)),
+                    None => Ok(l.union(r)),
+                }
+            }
+            Plan::Ext(op) => self.prune_ext(op, required),
+        }
+    }
+
+    /// Prune across an extension node: commuting operators pass the
+    /// requirement through to their input; barrier operators restart the
+    /// requirement at `None` (their full input is a consumer), memoized by
+    /// `Arc` identity.
+    fn prune_ext(
+        &mut self,
+        op: Arc<dyn ExtOperator>,
+        required: Option<&BTreeSet<String>>,
+    ) -> Result<Plan, MayError> {
+        let props = op.props();
+        if props.commutes_with_project && op.inputs().len() == 1 {
+            let before = self.rewrites;
+            let pruned = self.prune(op.inputs()[0].clone(), required)?;
+            if self.rewrites == before {
+                return Ok(Plan::Ext(op));
+            }
+            return Ok(self.rebuild(&op, vec![pruned], before));
+        }
+        let key = Arc::as_ptr(&op) as *const () as usize;
+        if let Some(done) = self.prune_memo.get(&key) {
+            return Ok(done.clone());
+        }
+        let before = self.rewrites;
+        let pruned = op
+            .inputs()
+            .into_iter()
+            .cloned()
+            .map(|p| self.prune(p, None))
+            .collect::<Result<Vec<_>, _>>()?;
+        let node = if self.rewrites == before {
+            Plan::Ext(Arc::clone(&op))
+        } else {
+            self.rebuild(&op, pruned, before)
+        };
+        self.prune_memo.insert(key, node.clone());
+        Ok(node)
+    }
+
+    /// Wrap `plan` in a projection onto `required` (in schema order) when
+    /// that drops at least one column; otherwise return it unchanged. Never
+    /// narrows to zero columns.
+    fn narrow(&mut self, plan: Plan, required: &BTreeSet<String>) -> Result<Plan, MayError> {
+        let schema = plan.schema_with(self.schemas)?;
+        let keep: Vec<String> = schema
+            .names()
+            .into_iter()
+            .filter(|n| required.contains(*n))
+            .map(str::to_string)
+            .collect();
+        if keep.len() == schema.arity() || keep.is_empty() {
+            return Ok(plan);
+        }
+        // Idempotence: a projection that already implements the narrowing
+        // must not be wrapped again.
+        if let Plan::Project { columns, .. } = &plan {
+            if *columns == keep {
+                return Ok(plan);
+            }
+        }
+        self.rewrites += 1;
+        Ok(plan.project(keep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{col, lit};
+    use maybms_core::ValueType;
+
+    fn schemas() -> BTreeMap<String, Schema> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "r1".to_string(),
+            Schema::of(&[("a", ValueType::Int), ("b", ValueType::Int)]).unwrap(),
+        );
+        m.insert(
+            "r2".to_string(),
+            Schema::of(&[("b", ValueType::Int), ("c", ValueType::Int)]).unwrap(),
+        );
+        m.insert(
+            "r3".to_string(),
+            Schema::of(&[("c", ValueType::Int), ("d", ValueType::Int)]).unwrap(),
+        );
+        m
+    }
+
+    fn opt(plan: Plan) -> String {
+        optimize(&plan, &schemas()).expect("optimizes").to_string()
+    }
+
+    #[test]
+    fn selection_sinks_below_a_join() {
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .select(Predicate::lt(col("a"), lit(3)));
+        assert_eq!(
+            opt(plan),
+            "natural-join\n  select[a < 3]\n    scan[r1]\n  scan[r2]\n"
+        );
+    }
+
+    #[test]
+    fn conjuncts_split_across_join_sides() {
+        let pred = Predicate::And(vec![
+            Predicate::lt(col("a"), lit(3)),
+            Predicate::eq(col("c"), lit(1)),
+            Predicate::lt(col("a"), col("c")), // spans both sides: stays
+        ]);
+        let plan = Plan::scan("r1").join(Plan::scan("r2")).select(pred);
+        assert_eq!(
+            opt(plan),
+            "select[a < c]\n  natural-join\n    select[a < 3]\n      scan[r1]\n    select[c = 1]\n      scan[r2]\n"
+        );
+    }
+
+    #[test]
+    fn selection_crosses_projection_rename_and_union() {
+        let plan = Plan::scan("r1")
+            .rename([("a", "x")])
+            .union(Plan::scan("r1").rename([("a", "x")]))
+            .project(["x"])
+            .select(Predicate::eq(col("x"), lit(7)));
+        // The selection sinks below rename (mapped back to `a`) and union;
+        // the projection narrows each union side, leaving the top-level
+        // projection an identity over a distinct input — elided.
+        assert_eq!(
+            opt(plan),
+            "union\n  project[x]\n    rename[a -> x]\n      select[a = 7]\n        scan[r1]\n  project[x]\n    rename[a -> x]\n      select[a = 7]\n        scan[r1]\n"
+        );
+    }
+
+    #[test]
+    fn adjacent_selections_merge() {
+        let plan = Plan::scan("r1")
+            .select(Predicate::lt(col("a"), lit(3)))
+            .select(Predicate::lt(col("b"), lit(5)));
+        assert_eq!(opt(plan), "select[a < 3 AND b < 5]\n  scan[r1]\n");
+    }
+
+    #[test]
+    fn projections_prune_join_gathers() {
+        // Only `a` is consumed above the join, so each side narrows to its
+        // required columns plus the join key `b`.
+        let plan = Plan::scan("r1").join(Plan::scan("r2")).project(["a"]);
+        assert_eq!(
+            opt(plan),
+            "project[a]\n  natural-join\n    scan[r1]\n    project[b]\n      scan[r2]\n"
+        );
+    }
+
+    #[test]
+    fn nested_projections_collapse_and_identity_projection_elides() {
+        let plan = Plan::scan("r1").project(["a", "b"]).project(["a"]);
+        assert_eq!(opt(plan), "project[a]\n  scan[r1]\n");
+        // π over a distinct input keeping all columns in order is elided.
+        let plan = Plan::scan("r1").project(["b", "a"]).project(["b", "a"]);
+        assert_eq!(opt(plan), "project[b, a]\n  scan[r1]\n");
+    }
+
+    #[test]
+    fn optimizer_preserves_the_output_schema() {
+        let provider = schemas();
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .join(Plan::scan("r3"))
+            .select(Predicate::lt(col("a"), lit(3)))
+            .project(["a", "d"]);
+        let optimized = optimize(&plan, &provider).unwrap();
+        assert_eq!(
+            plan.schema_with(&provider).unwrap(),
+            optimized.schema_with(&provider).unwrap()
+        );
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let provider = schemas();
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .select(Predicate::lt(col("a"), lit(3)))
+            .project(["a", "c"]);
+        let once = optimize(&plan, &provider).unwrap();
+        let twice = optimize(&once, &provider).unwrap();
+        assert_eq!(once.to_string(), twice.to_string());
+    }
+}

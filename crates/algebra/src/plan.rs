@@ -117,6 +117,41 @@ impl Plan {
         }
     }
 
+    /// Whether the plan's result provably never contains two equal
+    /// `(tuple, descriptor)` rows. Derived structurally: the executor
+    /// deduplicates after projection, join, and union; selection and
+    /// renaming preserve distinctness; a base scan is unknown (u-relations
+    /// may hold duplicates), so `false`. Extension operators answer through
+    /// [`ExtOperator::props`]. Both the optimizer (redundant-operator
+    /// elision) and the executor (dedup elision) consult this.
+    pub fn is_distinct(&self) -> bool {
+        match self {
+            Plan::Scan(_) => false,
+            Plan::Select { input, .. } | Plan::Rename { input, .. } => input.is_distinct(),
+            Plan::Project { .. } | Plan::NaturalJoin { .. } | Plan::Union { .. } => true,
+            Plan::Ext(op) => op.props().distinct_output,
+        }
+    }
+
+    /// Whether the plan's result is provably a *certain* relation (every
+    /// row carries the trivial descriptor, i.e. occurs in every world).
+    /// Positive relational algebra preserves certainty — a join of trivial
+    /// descriptors conjoins to the trivial descriptor — and the
+    /// world-collapsing operators (`possible`/`certain`/`conf`) produce
+    /// certain output by construction; a base scan is unknown.
+    pub fn is_certain(&self) -> bool {
+        match self {
+            Plan::Scan(_) => false,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Rename { input, .. } => input.is_certain(),
+            Plan::NaturalJoin { left, right } | Plan::Union { left, right } => {
+                left.is_certain() && right.is_certain()
+            }
+            Plan::Ext(op) => op.props().certain_output,
+        }
+    }
+
     fn fmt_tree(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
         for _ in 0..depth {
             f.write_str("  ")?;

@@ -1,6 +1,7 @@
 //! Selection predicates over tuples and columnar batches.
 
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::fmt;
 
 use maybms_core::columnar::{ColumnVec, StrPool};
@@ -160,6 +161,52 @@ impl Predicate {
             write!(f, "{self}")
         } else {
             write!(f, "({self})")
+        }
+    }
+
+    /// Collect the names of every column the predicate reads into `out`.
+    /// The optimizer uses this to decide which side of a join (or which
+    /// operator boundary) a predicate may cross.
+    pub fn columns(&self, out: &mut BTreeSet<String>) {
+        let operand = |op: &Operand, out: &mut BTreeSet<String>| {
+            if let Operand::Column(n) = op {
+                out.insert(n.clone());
+            }
+        };
+        match self {
+            Predicate::True => {}
+            Predicate::Compare { lhs, rhs, .. } => {
+                operand(lhs, out);
+                operand(rhs, out);
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.columns(out);
+                }
+            }
+            Predicate::Not(p) => p.columns(out),
+        }
+    }
+
+    /// Rewrite every column reference through `f` (a *simultaneous*
+    /// substitution, so swapping renames resolve correctly). Used to carry a
+    /// predicate across a `Rename`: pushing `σ_p` below `rename[old → new]`
+    /// maps each `new` in `p` back to its `old`.
+    pub fn map_columns(&self, f: &impl Fn(&str) -> String) -> Predicate {
+        let operand = |op: &Operand| match op {
+            Operand::Column(n) => Operand::Column(f(n)),
+            lit => lit.clone(),
+        };
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::Compare { op, lhs, rhs } => Predicate::Compare {
+                op: *op,
+                lhs: operand(lhs),
+                rhs: operand(rhs),
+            },
+            Predicate::And(ps) => Predicate::And(ps.iter().map(|p| p.map_columns(f)).collect()),
+            Predicate::Or(ps) => Predicate::Or(ps.iter().map(|p| p.map_columns(f)).collect()),
+            Predicate::Not(p) => Predicate::Not(Box::new(p.map_columns(f))),
         }
     }
 

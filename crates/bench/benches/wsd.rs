@@ -1,7 +1,8 @@
 //! Timings for WSD normalization, a 3-way natural join, `repair-key`,
-//! exact `conf`, and the end-to-end MayQL pipeline (parse + analyze/lower +
-//! execute), printed as one JSON object per line (see crate docs for why
-//! this is not criterion).
+//! exact `conf`, the end-to-end MayQL pipeline (parse + analyze/lower +
+//! execute), and the logical optimizer (`join3_filtered` and
+//! `possible_pushdown`, each timed raw and optimized), printed as one JSON
+//! object per line (see crate docs for why this is not criterion).
 //!
 //! Each workload is timed as the minimum of [`RUNS`] repetitions on a fresh
 //! clone of the generated world set, which keeps single-core timing noise
@@ -11,14 +12,14 @@
 
 use std::time::Instant;
 
-use maybms_algebra::{col, lit, run, Plan, Predicate};
+use maybms_algebra::{col, lit, optimize, run, Plan, Predicate};
 use maybms_bench::{
     conf_chain_workload, conf_disjoint_workload, join_columnar_workload, join_workload,
     normalization_workload, repair_workload,
 };
 use maybms_core::rng::Rng;
 use maybms_core::WorldSet;
-use maybms_ql::{conf, repair_key};
+use maybms_ql::{conf, possible, repair_key};
 use maybms_sql::{compile, Catalog};
 
 /// Repetitions per workload; the minimum is reported.
@@ -108,6 +109,55 @@ fn main() {
             run(ws, &plan).expect("bench query is well-typed").len()
         });
         emit("mayql_e2e", n, rows, ms);
+    }
+
+    // A selective predicate (10% of `r1`) written *above* the 3-way join —
+    // the optimizer's bread and butter. `join3_filtered_raw` executes the
+    // plan as written; `join3_filtered` runs it through the logical
+    // optimizer first, which pushes the filter to `r1`'s scan so both join
+    // hops probe, gather, and dedup a tenth of the rows.
+    for &n in sizes {
+        let ws = join_workload(&mut Rng::new(0x10A0), n);
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .join(Plan::scan("r3"))
+            .select(Predicate::lt(col("a"), lit((n / 10) as i64)));
+        let (rows, ms) = bench_min(&ws, |ws| {
+            run(ws, &plan).expect("join workload is well-typed").len()
+        });
+        emit("join3_filtered_raw", n, rows, ms);
+        let optimized = optimize(&plan, &ws.relations).expect("plan optimizes");
+        let (rows_opt, ms) = bench_min(&ws, |ws| {
+            run(ws, &optimized)
+                .expect("optimized plan is well-typed")
+                .len()
+        });
+        assert_eq!(rows, rows_opt, "optimization changed the result size");
+        emit("join3_filtered", n, rows_opt, ms);
+    }
+
+    // A filter above `POSSIBLE` over a join: raw, the executor joins
+    // everything, world-collapses (sorts) everything, then filters;
+    // optimized, the selection commutes through `possible` and into the
+    // join's left input, so the collapse sorts a tenth of the rows.
+    for &n in sizes {
+        let ws = join_workload(&mut Rng::new(0x9055), n);
+        let plan = possible(Plan::scan("r1").join(Plan::scan("r2")))
+            .select(Predicate::lt(col("a"), lit((n / 10) as i64)));
+        let (rows, ms) = bench_min(&ws, |ws| {
+            run(ws, &plan)
+                .expect("possible workload is well-typed")
+                .len()
+        });
+        emit("possible_pushdown_raw", n, rows, ms);
+        let optimized = optimize(&plan, &ws.relations).expect("plan optimizes");
+        let (rows_opt, ms) = bench_min(&ws, |ws| {
+            run(ws, &optimized)
+                .expect("optimized plan is well-typed")
+                .len()
+        });
+        assert_eq!(rows, rows_opt, "optimization changed the result size");
+        emit("possible_pushdown", n, rows_opt, ms);
     }
 
     for &n in sizes {

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use maybms_algebra::{EvalCtx, ExtOperator, Plan};
+use maybms_algebra::{EvalCtx, ExtOperator, ExtProps, Plan};
 use maybms_core::columnar::{ColumnVec, ColumnarURelation};
 use maybms_core::{Column, DescId, MayError, Schema, ValueType, WsDescriptor};
 
@@ -41,6 +41,28 @@ impl ExtOperator for Conf {
 
     fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
         Some(format!("SELECT CONF * FROM {}", inputs[0]))
+    }
+
+    fn props(&self) -> ExtProps {
+        ExtProps {
+            // A tuple's confidence depends only on its own descriptors, so
+            // removing *other* tuples first changes nothing: σ commutes as
+            // long as the predicate reads input columns (the optimizer's
+            // input-schema guard keeps predicates over the appended `conf`
+            // column above). Projection does NOT commute — it changes which
+            // rows count as one tuple, and with them the disjunctions.
+            commutes_with_select: true,
+            commutes_with_project: false,
+            requires_normalized_input: false,
+            distinct_output: true,
+            certain_output: true,
+            // Not an identity even on certain input: it appends a column.
+            identity_on_certain: false,
+        }
+    }
+
+    fn with_inputs(&self, mut inputs: Vec<Plan>) -> Option<Plan> {
+        Some(conf(inputs.remove(0)))
     }
 
     fn inputs(&self) -> Vec<&Plan> {

@@ -2,11 +2,27 @@
 
 use std::sync::Arc;
 
-use maybms_algebra::{EvalCtx, ExtOperator, Plan};
+use maybms_algebra::{EvalCtx, ExtOperator, ExtProps, Plan};
 use maybms_core::columnar::ColumnarURelation;
 use maybms_core::{DescId, MayError, Schema, WsDescriptor};
 
 use crate::order::{run_end, sorted_row_ids};
+
+/// The algebraic properties shared by `possible` and `certain`: both
+/// commute with selection (they decide per tuple, before or after rows are
+/// filtered), both emit distinct certain rows, and both are the identity
+/// on an input that is already certain and duplicate-free. Projection
+/// commutation differs between the two — see each operator's `props`.
+fn extract_props() -> ExtProps {
+    ExtProps {
+        commutes_with_select: true,
+        commutes_with_project: false,
+        requires_normalized_input: false,
+        distinct_output: true,
+        certain_output: true,
+        identity_on_certain: true,
+    }
+}
 
 /// The `possible R` operator: the tuples of `R` that occur in at least one
 /// world. The result is a certain relation.
@@ -27,6 +43,19 @@ impl ExtOperator for Possible {
 
     fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
         Some(format!("SELECT POSSIBLE * FROM {}", inputs[0]))
+    }
+
+    fn props(&self) -> ExtProps {
+        ExtProps {
+            // π commutes with ∃-world semantics: a projected tuple occurs
+            // in some world iff some extension of it does.
+            commutes_with_project: true,
+            ..extract_props()
+        }
+    }
+
+    fn with_inputs(&self, mut inputs: Vec<Plan>) -> Option<Plan> {
+        Some(possible(inputs.remove(0)))
     }
 
     fn inputs(&self) -> Vec<&Plan> {
@@ -73,6 +102,20 @@ impl ExtOperator for Certain {
 
     fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
         Some(format!("SELECT CERTAIN * FROM {}", inputs[0]))
+    }
+
+    fn props(&self) -> ExtProps {
+        // π does NOT commute with ∀-world semantics: two rows that differ
+        // only in a projected-away column, under descriptors that jointly
+        // cover all worlds, make the projected tuple certain even though
+        // neither full tuple is — `certain(π_k(R))` can be strictly larger
+        // than `π_k(certain(R))`. `extract_props` already declares no
+        // projection commutation; this operator keeps it that way.
+        extract_props()
+    }
+
+    fn with_inputs(&self, mut inputs: Vec<Plan>) -> Option<Plan> {
+        Some(certain(inputs.remove(0)))
     }
 
     fn inputs(&self) -> Vec<&Plan> {

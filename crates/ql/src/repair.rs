@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use maybms_algebra::{EvalCtx, ExtOperator, Plan};
+use maybms_algebra::{EvalCtx, ExtOperator, ExtProps, Plan};
 use maybms_core::columnar::ColumnarURelation;
 use maybms_core::{Component, DescId, MayError, Schema};
 
@@ -55,6 +55,27 @@ impl ExtOperator for RepairKey {
             s.push_str(w);
         }
         Some(s)
+    }
+
+    fn props(&self) -> ExtProps {
+        ExtProps {
+            // Nothing commutes across repair-key: a selection below it
+            // would change which tuples form a key group (and with them the
+            // alternatives and their weights), and a projection could drop
+            // key or weight columns. It is a rewrite barrier; only its
+            // input is optimized, under the normalized-input guard.
+            commutes_with_select: false,
+            commutes_with_project: false,
+            requires_normalized_input: true,
+            distinct_output: true,
+            certain_output: false,
+            identity_on_certain: false,
+        }
+    }
+
+    fn with_inputs(&self, mut inputs: Vec<Plan>) -> Option<Plan> {
+        let key: Vec<&str> = self.key.iter().map(String::as_str).collect();
+        Some(repair_key(inputs.remove(0), &key, self.weight.as_deref()))
     }
 
     fn inputs(&self) -> Vec<&Plan> {

@@ -225,6 +225,14 @@ pub enum Statement {
         /// Span of the whole statement, from the `LET` keyword on.
         span: Span,
     },
+    /// `EXPLAIN query` — show the lowered and the optimized plan instead of
+    /// evaluating.
+    Explain {
+        /// The query to explain.
+        query: Query,
+        /// Span of the whole statement, from the `EXPLAIN` keyword on.
+        span: Span,
+    },
 }
 
 impl Statement {
@@ -233,7 +241,7 @@ impl Statement {
     pub fn span(&self) -> Span {
         match self {
             Statement::Query(q) => q.span(),
-            Statement::Let { span, .. } => *span,
+            Statement::Let { span, .. } | Statement::Explain { span, .. } => *span,
         }
     }
 }

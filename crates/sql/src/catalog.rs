@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use maybms_algebra::SchemaProvider;
 use maybms_core::{Schema, WorldSet};
 
 /// A name → [`Schema`] map. Semantic analysis resolves relation references
@@ -43,5 +44,13 @@ impl Catalog {
     /// The registered relation names, in order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.schemas.keys().map(String::as_str)
+    }
+}
+
+/// The catalog is a [`SchemaProvider`], so the logical optimizer (and plan
+/// schema inference) can run against it without materialized relations.
+impl SchemaProvider for Catalog {
+    fn base_schema(&self, name: &str) -> Option<&Schema> {
+        self.schema(name)
     }
 }

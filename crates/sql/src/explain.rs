@@ -1,0 +1,46 @@
+//! `EXPLAIN`: show a query's lowered and optimized plans side by side.
+//!
+//! The REPL's `EXPLAIN <query>` statement and the golden plan tests share
+//! this module, so what the tests pin is exactly what users see.
+
+use std::fmt;
+
+use maybms_algebra::Plan;
+
+use crate::ast::Query;
+use crate::catalog::Catalog;
+use crate::planner::{lower, optimize_plan};
+use crate::span::SqlError;
+
+/// The two plans `EXPLAIN` shows: the planner's minimal lowering and the
+/// result of the logical optimizer (the plan the executor actually runs).
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// The plan as lowered from the AST, before any rewrite.
+    pub lowered: Plan,
+    /// The plan after the algebraic rewrite passes.
+    pub optimized: Plan,
+}
+
+/// Analyze a parsed query and produce both plans.
+pub fn explain(catalog: &Catalog, query: &Query) -> Result<Explain, SqlError> {
+    let (lowered, _) = lower(catalog, query)?;
+    let optimized = optimize_plan(catalog, &lowered, query.span())?;
+    Ok(Explain { lowered, optimized })
+}
+
+/// The REPL rendering: both operator trees, indented under their headers.
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tree = |f: &mut fmt::Formatter<'_>, plan: &Plan| -> fmt::Result {
+            for line in plan.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+            Ok(())
+        };
+        writeln!(f, "lowered plan:")?;
+        tree(f, &self.lowered)?;
+        writeln!(f, "optimized plan:")?;
+        tree(f, &self.optimized)
+    }
+}

@@ -20,11 +20,14 @@
 //!    schemas fused with lowering to the [`maybms_algebra::Plan`] IR;
 //!    unresolved names, ill-typed comparisons, non-compatible unions, and
 //!    non-numeric `WEIGHT BY` columns are rejected with [`SqlError`]s
-//!    carrying the exact source [`Span`].
+//!    carrying the exact source [`Span`]. [`compile`] then runs the logical
+//!    optimizer ([`fn@maybms_algebra::optimize`]) by default;
+//!    [`compile_unoptimized`] exposes the raw lowering, and [`fn@explain`]
+//!    (the `EXPLAIN <query>` statement) renders both plans.
 //! 4. **[`unparse`]** — the pretty-printer back from plans to MayQL text;
-//!    `compile(catalog, to_mayql(catalog, plan)?)` reproduces the plan,
-//!    a property the testkit checks on randomized plans together with
-//!    execution equivalence.
+//!    `compile_unoptimized(catalog, to_mayql(catalog, plan)?)` reproduces
+//!    the plan, a property the testkit checks on randomized plans together
+//!    with execution equivalence.
 //!
 //! ```
 //! use maybms_core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
@@ -47,6 +50,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod explain;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
@@ -55,8 +59,9 @@ pub mod unparse;
 
 pub use ast::{Query, Statement};
 pub use catalog::Catalog;
+pub use explain::{explain, Explain};
 pub use parser::{parse_query, parse_script, parse_statement};
-pub use planner::{analyze, compile, lower};
+pub use planner::{analyze, compile, compile_unoptimized, lower, optimize_plan};
 pub use span::{Span, SqlError};
 pub use unparse::{schema_of, to_mayql};
 
@@ -98,7 +103,8 @@ mod tests {
     fn lowers_the_paper_repair_query() {
         let ws = census_world();
         let catalog = Catalog::from_world_set(&ws);
-        let parsed = compile(&catalog, "REPAIR KEY name IN censusform WEIGHT BY w").unwrap();
+        let parsed =
+            compile_unoptimized(&catalog, "REPAIR KEY name IN censusform WEIGHT BY w").unwrap();
         let hand = repair_key(Plan::scan("censusform"), &["name"], Some("w"));
         assert_eq!(
             to_mayql(&catalog, &parsed).unwrap(),
@@ -115,7 +121,7 @@ mod tests {
     fn lowers_select_where_project_possible() {
         let ws = census_world();
         let catalog = Catalog::from_world_set(&ws);
-        let parsed = compile(
+        let parsed = compile_unoptimized(
             &catalog,
             "SELECT POSSIBLE ssn FROM censusform WHERE name = 'Smith'",
         )
@@ -145,7 +151,8 @@ mod tests {
     fn aliases_lower_to_project_then_rename() {
         let ws = census_world();
         let catalog = Catalog::from_world_set(&ws);
-        let parsed = compile(&catalog, "SELECT name AS n1, ssn FROM censusform").unwrap();
+        let parsed =
+            compile_unoptimized(&catalog, "SELECT name AS n1, ssn FROM censusform").unwrap();
         let hand = Plan::scan("censusform")
             .project(["name", "ssn"])
             .rename([("name", "n1")]);
@@ -179,12 +186,35 @@ mod tests {
         ];
         for plan in &plans {
             let text = to_mayql(&catalog, plan).unwrap();
-            let reparsed = compile(&catalog, &text).unwrap();
+            let reparsed = compile_unoptimized(&catalog, &text).unwrap();
             assert_eq!(to_mayql(&catalog, &reparsed).unwrap(), text);
             let a = run(&mut ws.clone(), plan).unwrap();
             let b = run(&mut ws.clone(), &reparsed).unwrap();
             assert_eq!(a, b, "execution differs for {text}");
         }
+    }
+
+    /// `compile` (the default path) optimizes: the census filter query
+    /// comes back with the selection pushed to the scan and the projection
+    /// pruned, and still evaluates to the same result as the raw lowering.
+    #[test]
+    fn compile_optimizes_by_default() {
+        let ws = census_world();
+        let catalog = Catalog::from_world_set(&ws);
+        let text =
+            "SELECT ssn FROM censusform, (SELECT name AS n2, ssn FROM censusform) WHERE w = 1";
+        let optimized = compile(&catalog, text).unwrap();
+        let raw = compile_unoptimized(&catalog, text).unwrap();
+        assert_ne!(
+            optimized.to_string(),
+            raw.to_string(),
+            "expected the optimizer to rewrite the plan"
+        );
+        let mut a = run(&mut ws.clone(), &optimized).unwrap();
+        let mut b = run(&mut ws.clone(), &raw).unwrap();
+        a.dedup();
+        b.dedup();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! script    := [ statement ] { ";" [ statement ] } ;
-//! statement := "LET" ident "=" query | query ;
+//! statement := "LET" ident "=" query | "EXPLAIN" query | query ;
 //! query     := term { "UNION" term } ;
 //! term      := select | repair | "(" query ")" ;
 //! select    := "SELECT" [ quantifier ] sel_list
@@ -12,7 +12,7 @@
 //! quantifier:= "POSSIBLE" | "CERTAIN" | "CONF" ;
 //! sel_list  := "*" | sel_item { "," sel_item } ;
 //! sel_item  := ident [ "AS" ident ] ;
-//! from_item := ident | "(" query ")" | repair ;
+//! from_item := ident | "(" query ")" | "(" from_item ")" | repair ;
 //! repair    := "REPAIR" "KEY" ident { "," ident } "IN" from_item
 //!              [ "WEIGHT" "BY" ident ] ;
 //! expr      := and_expr { "OR" and_expr } ;
@@ -210,6 +210,14 @@ impl Parser {
             let query = self.query()?;
             let span = start.join(query.span());
             Ok(Statement::Let { name, query, span })
+        } else if self.is_kw("EXPLAIN") {
+            // Contextual: a query can only start with SELECT, REPAIR, or
+            // `(`, never a bare identifier, so `EXPLAIN` here is
+            // unambiguous and the word stays usable as a name elsewhere.
+            let start = self.advance().span;
+            let query = self.query()?;
+            let span = start.join(query.span());
+            Ok(Statement::Explain { query, span })
         } else {
             Ok(Statement::Query(self.query()?))
         }
@@ -309,6 +317,20 @@ impl Parser {
             return Ok(FromItem::Repair(self.repair()?));
         }
         if let TokenKind::LParen = self.peek().kind {
+            // Disambiguate `(query)` from a parenthesized from-item like
+            // `(r)` or `((r))`: skip nested `(`s and check whether the
+            // first real token can start a query (only SELECT and REPAIR
+            // can — queries never start with a bare identifier).
+            let mut off = 1;
+            while matches!(self.peek_at(off).kind, TokenKind::LParen) {
+                off += 1;
+            }
+            if !self.is_kw_at(off, "SELECT") && !self.is_kw_at(off, "REPAIR") {
+                self.advance(); // the `(`
+                let item = self.parse_from_item()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(item);
+            }
             let l = self.advance().span;
             let query = self.query()?;
             let r = self.expect(&TokenKind::RParen)?;
@@ -555,6 +577,60 @@ mod tests {
         let stmts =
             parse_script("-- demo\nLET x = SELECT * FROM r;\nSELECT a FROM x;\n;\n").unwrap();
         assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_parenthesized_queries_at_top_level() {
+        // Parentheses group a right-nested union against the default left
+        // associativity.
+        let q =
+            parse_query("(SELECT * FROM a) UNION (SELECT * FROM b UNION SELECT * FROM c)").unwrap();
+        let Query::Union { left, right } = q else {
+            panic!("expected a union")
+        };
+        assert!(matches!(*left, Query::Select(_)));
+        assert!(matches!(*right, Query::Union { .. }));
+        // A whole statement may be a parenthesized query.
+        let s = parse_statement("((SELECT * FROM r));").unwrap();
+        assert!(matches!(s, Statement::Query(Query::Select(_))));
+    }
+
+    #[test]
+    fn parses_parenthesized_from_items() {
+        let q = parse_query("SELECT * FROM (r), ((s)), (SELECT a FROM t)").unwrap();
+        let Query::Select(sel) = q else {
+            panic!("expected a select")
+        };
+        assert!(matches!(&sel.from[0], FromItem::Relation(id) if id.name == "r"));
+        assert!(matches!(&sel.from[1], FromItem::Relation(id) if id.name == "s"));
+        assert!(matches!(&sel.from[2], FromItem::Subquery { .. }));
+        // A parenthesized union subquery still parses as one from-item.
+        let q = parse_query("SELECT * FROM ((SELECT a FROM t) UNION (SELECT a FROM u))").unwrap();
+        let Query::Select(sel) = q else {
+            panic!("expected a select")
+        };
+        assert!(matches!(&sel.from[0], FromItem::Subquery { query, .. }
+            if matches!(&**query, Query::Union { .. })));
+    }
+
+    #[test]
+    fn parses_explain_statements() {
+        let s = parse_statement("EXPLAIN SELECT a FROM r;").unwrap();
+        assert!(matches!(s, Statement::Explain { .. }));
+        let s = parse_statement("explain REPAIR KEY a IN r;").unwrap();
+        let Statement::Explain { query, .. } = s else {
+            panic!("expected an explain")
+        };
+        assert!(matches!(query, Query::Repair(_)));
+        // `explain` stays usable as an ordinary identifier.
+        let q = parse_query("SELECT explain FROM r").unwrap();
+        let Query::Select(sel) = q else {
+            panic!("expected a select")
+        };
+        let SelectList::Items(items) = sel.items else {
+            panic!("expected explicit items")
+        };
+        assert_eq!(items[0].column.name, "explain");
     }
 
     #[test]

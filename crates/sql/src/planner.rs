@@ -29,10 +29,31 @@ use crate::ast::{Expr, FromItem, Quantifier, Query, Repair, Scalar, SelectList, 
 use crate::catalog::Catalog;
 use crate::span::{Span, SqlError};
 
-/// Parse and lower in one step: the plan for a MayQL query string.
+/// Parse, lower, and **optimize** in one step: the executable plan for a
+/// MayQL query string. This is the planner's default path — the logical
+/// optimizer ([`fn@maybms_algebra::optimize`]) runs on every compiled query;
+/// use [`compile_unoptimized`] to see (or pin in tests) the raw lowering.
 pub fn compile(catalog: &Catalog, src: &str) -> Result<Plan, SqlError> {
     let query = crate::parser::parse_query(src)?;
+    let (plan, _) = lower(catalog, &query)?;
+    optimize_plan(catalog, &plan, query.span())
+}
+
+/// Parse and lower without optimizing: exactly the plan the minimal
+/// lowering produces. The MayQL pretty-printer's fixpoint property
+/// (`print ∘ lower ∘ parse` is the identity on printed text) holds for
+/// *this* path; the optimizer deliberately rewrites plan shapes.
+pub fn compile_unoptimized(catalog: &Catalog, src: &str) -> Result<Plan, SqlError> {
+    let query = crate::parser::parse_query(src)?;
     lower(catalog, &query).map(|(plan, _)| plan)
+}
+
+/// Run the logical optimizer against the catalog, converting optimizer
+/// errors (which should not occur on plans the lowering just type-checked)
+/// into spanned diagnostics.
+pub fn optimize_plan(catalog: &Catalog, plan: &Plan, span: Span) -> Result<Plan, SqlError> {
+    maybms_algebra::optimize(plan, catalog)
+        .map_err(|e| SqlError::new(span, format!("optimizer: {e}")))
 }
 
 /// Semantic analysis only: the output schema of a query, or a spanned error

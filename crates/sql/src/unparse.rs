@@ -27,7 +27,9 @@ use crate::catalog::Catalog;
 /// lowers.
 pub fn to_mayql(catalog: &Catalog, plan: &Plan) -> Result<String, MayError> {
     let text = term(catalog, plan)?;
-    if let Err(e) = crate::planner::compile(catalog, &text) {
+    // Validate against the *raw* lowering: the fixpoint property is about
+    // plan shapes as lowered, before the optimizer rewrites them.
+    if let Err(e) = crate::planner::compile_unoptimized(catalog, &text) {
         return Err(MayError::Unsupported(format!(
             "plan has no roundtrippable MayQL form (rendered text `{text}` fails to compile: {})",
             e.message
@@ -36,39 +38,10 @@ pub fn to_mayql(catalog: &Catalog, plan: &Plan) -> Result<String, MayError> {
     Ok(text)
 }
 
-/// Infer the output schema of a plan against a catalog (the unparser's
-/// analogue of `maybms_algebra::infer_schema`, which needs materialized
-/// relations rather than schemas).
+/// Infer the output schema of a plan against a catalog — the catalog is a
+/// [`maybms_algebra::SchemaProvider`], so this is [`Plan::schema_with`].
 pub fn schema_of(catalog: &Catalog, plan: &Plan) -> Result<Schema, MayError> {
-    match plan {
-        Plan::Scan(name) => catalog
-            .schema(name)
-            .cloned()
-            .ok_or_else(|| MayError::UnknownRelation(name.clone())),
-        Plan::Select { input, predicate } => {
-            let s = schema_of(catalog, input)?;
-            predicate.bind(&s)?;
-            Ok(s)
-        }
-        Plan::Project { input, columns } => Ok(schema_of(catalog, input)?.project(columns)?.0),
-        Plan::NaturalJoin { left, right } => Ok(schema_of(catalog, left)?
-            .natural_join(&schema_of(catalog, right)?)?
-            .schema),
-        Plan::Union { left, right } => {
-            let l = schema_of(catalog, left)?;
-            l.union_compatible(&schema_of(catalog, right)?)?;
-            Ok(l)
-        }
-        Plan::Rename { input, renames } => Ok(schema_of(catalog, input)?.rename(renames)?),
-        Plan::Ext(op) => {
-            let inputs = op
-                .inputs()
-                .into_iter()
-                .map(|p| schema_of(catalog, p))
-                .collect::<Result<Vec<_>, _>>()?;
-            op.output_schema(&inputs)
-        }
-    }
+    plan.schema_with(catalog)
 }
 
 /// Render a plan as a standalone query term.

@@ -1,0 +1,135 @@
+//! Golden tests pinning the `EXPLAIN` rendering for the census queries.
+//!
+//! These strings are exactly what the REPL prints for `EXPLAIN <query>;`
+//! (both share [`maybms_sql::explain`]), so a rewrite-rule change that
+//! shifts plan shapes must update these expectations consciously.
+
+use maybms_core::{Schema, ValueType};
+use maybms_sql::{explain, parse_query, Catalog};
+
+/// The REPL's preloaded world: the raw census readings, the repaired
+/// `census` relation a `LET` materializes, and the certain `homes` lookup.
+fn census_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    let census = Schema::of(&[
+        ("name", ValueType::Str),
+        ("ssn", ValueType::Int),
+        ("w", ValueType::Int),
+    ])
+    .expect("distinct columns");
+    catalog.insert("censusform", census.clone());
+    catalog.insert("census", census);
+    catalog.insert(
+        "homes",
+        Schema::of(&[("ssn", ValueType::Int), ("city", ValueType::Str)]).expect("distinct columns"),
+    );
+    catalog
+}
+
+fn explain_text(query: &str) -> String {
+    let catalog = census_catalog();
+    let parsed = parse_query(query).expect("query parses");
+    explain(&catalog, &parsed)
+        .expect("query analyzes")
+        .to_string()
+}
+
+/// The selective predicate sinks below the join into the `census` side,
+/// and projection pruning narrows the join to the columns consumed above
+/// (the join key `ssn` plus the projected `city`).
+#[test]
+fn explain_pushes_selection_below_the_join() {
+    let text = explain_text("SELECT POSSIBLE city FROM census, homes WHERE name = 'Smith'");
+    let expected = "\
+lowered plan:
+  possible
+    project[city]
+      select[name = 'Smith']
+        natural-join
+          scan[census]
+          scan[homes]
+optimized plan:
+  possible
+    project[city]
+      natural-join
+        project[ssn]
+          select[name = 'Smith']
+            scan[census]
+        scan[homes]
+";
+    assert_eq!(text, expected);
+}
+
+/// The outer selection and projection commute *through* `possible` (the
+/// paper's equivalences), so the world-collapse runs on the filtered,
+/// projected — smallest — intermediate; the then-redundant outer
+/// projection is elided.
+#[test]
+fn explain_commutes_possible_inward() {
+    let text = explain_text(
+        "SELECT ssn FROM (SELECT POSSIBLE name, ssn FROM census) WHERE name = 'Smith'",
+    );
+    let expected = "\
+lowered plan:
+  project[ssn]
+    select[name = 'Smith']
+      possible
+        project[name, ssn]
+          scan[census]
+optimized plan:
+  possible
+    project[ssn]
+      select[name = 'Smith']
+        scan[census]
+";
+    assert_eq!(text, expected);
+}
+
+/// `repair-key` is a rewrite barrier: selections must not cross it (they
+/// would change the key groups and the repair weights), so the filter
+/// stays put and the plan survives optimization unchanged.
+#[test]
+fn explain_leaves_repair_key_alone() {
+    let text = explain_text(
+        "SELECT ssn FROM (REPAIR KEY name IN censusform WEIGHT BY w) WHERE name = 'Smith'",
+    );
+    let expected = "\
+lowered plan:
+  project[ssn]
+    select[name = 'Smith']
+      repair-key[key=name; weight=w]
+        scan[censusform]
+optimized plan:
+  project[ssn]
+    select[name = 'Smith']
+      repair-key[key=name; weight=w]
+        scan[censusform]
+";
+    assert_eq!(text, expected);
+}
+
+/// A predicate over the `conf` column an enclosing `CONF` produced cannot
+/// commute (it reads a produced column), while a predicate over input
+/// columns does.
+#[test]
+fn explain_guards_conf_column_predicates() {
+    let text = explain_text(
+        "SELECT name FROM (SELECT CONF name, ssn FROM census) WHERE conf > 0.5 AND name = 'Smith'",
+    );
+    let expected = "\
+lowered plan:
+  project[name]
+    select[conf > 0.5 AND name = 'Smith']
+      conf
+        project[name, ssn]
+          scan[census]
+optimized plan:
+  project[name]
+    select[conf > 0.5]
+      conf
+        project[name, ssn]
+          select[name = 'Smith']
+            scan[census]
+";
+    assert_eq!(text, expected);
+}

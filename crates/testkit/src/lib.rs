@@ -278,6 +278,91 @@ pub fn wrap_uncertainty(rng: &mut Rng, ws: &WorldSet, plan: Plan) -> Plan {
     }
 }
 
+/// Generate a plan that layers positive relational algebra *on top of*
+/// uncertainty constructs (not only beneath them, as [`wrap_uncertainty`]
+/// does): a random RA plan is wrapped in a random uncertainty operator and
+/// then extended with up to three more selection / projection / join /
+/// quantifier layers. This is the shape the logical optimizer's commuting
+/// rules fire on — selections above `possible`/`certain`/`conf`,
+/// projections above quantifiers, filters above joins of collapsed
+/// subplans — so the optimizer differential suite generates its cases
+/// here.
+pub fn gen_uncertain_plan(rng: &mut Rng, ws: &WorldSet, depth: usize) -> Plan {
+    let base = gen_plan(rng, ws, depth);
+    let mut plan = wrap_uncertainty(rng, ws, base);
+    for _ in 0..rng.below(4) {
+        let schema = plan_schema(&plan, ws);
+        let names: Vec<String> = schema.names().iter().map(|s| s.to_string()).collect();
+        match rng.below(5) {
+            0 | 1 => {
+                let c = rng.pick(&names).clone();
+                let op = *rng.pick(&[
+                    CmpOp::Eq,
+                    CmpOp::Ne,
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge,
+                ]);
+                let rhs = if rng.chance(0.5) {
+                    lit(rng.below(4) as i64)
+                } else {
+                    col(rng.pick(&names).clone())
+                };
+                plan = plan.select(Predicate::cmp(op, col(c), rhs));
+            }
+            2 => {
+                let keep: Vec<String> = names.iter().filter(|_| rng.chance(0.6)).cloned().collect();
+                let keep = if keep.is_empty() {
+                    vec![names[0].clone()]
+                } else {
+                    keep
+                };
+                plan = plan.project(keep);
+            }
+            3 => {
+                // A *swapping* rename between two same-typed columns — the
+                // adversarial shape for projection pruning, which must keep
+                // both pairs and both source columns alive below. (Same
+                // type, so later natural joins stay well-typed.)
+                let cols = schema.columns();
+                let swap = (rng.chance(0.4) && cols.len() >= 2)
+                    .then(|| {
+                        let i = rng.below(cols.len());
+                        cols.iter()
+                            .enumerate()
+                            .find(|(j, c)| *j != i && c.ty == cols[i].ty)
+                            .map(|(j, _)| (cols[i].name.clone(), cols[j].name.clone()))
+                    })
+                    .flatten();
+                match swap {
+                    Some((a, b)) => {
+                        plan = plan.rename([(a.clone(), b.clone()), (b, a)]);
+                    }
+                    None => {
+                        // Join the collapsed subplan against a base
+                        // relation (all base columns are ints from the
+                        // shared pool, so shared names always agree on
+                        // type; `conf`/`z` never collide).
+                        let rels: Vec<String> = ws.relations.keys().cloned().collect();
+                        plan = plan.join(Plan::scan(rng.pick(&rels).clone()));
+                    }
+                }
+            }
+            _ => {
+                // Re-wrap in a further world-collapsing quantifier (never
+                // `conf`, which cannot nest once its column exists).
+                plan = if rng.chance(0.5) {
+                    possible(plan)
+                } else {
+                    certain(plan)
+                };
+            }
+        }
+    }
+    plan
+}
+
 /// Generate a random MayQL query *string* together with the hand-built
 /// [`Plan`] it must lower to. The pair is constructed side by side — the
 /// text by emitting grammar productions (with randomized keyword case), the

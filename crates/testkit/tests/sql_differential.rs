@@ -21,7 +21,7 @@
 use maybms_algebra::run;
 use maybms_core::rng::Rng;
 use maybms_core::{URelation, WorldSet};
-use maybms_sql::{compile, to_mayql, Catalog};
+use maybms_sql::{compile_unoptimized, to_mayql, Catalog};
 use maybms_testkit::{gen_plan, gen_query, gen_world_set, wrap_uncertainty, GenConfig};
 
 /// ≥ 100 cases each, per the acceptance bar of the MayQL front-end issue.
@@ -46,7 +46,7 @@ fn parsed_text_matches_hand_built_plan() {
         let (text, hand_built) = gen_query(&mut rng, &ws, 2);
         let catalog = Catalog::from_world_set(&ws);
 
-        let parsed = compile(&catalog, &text)
+        let parsed = compile_unoptimized(&catalog, &text)
             .unwrap_or_else(|e| panic!("seed {seed}: {text}\n{}", e.render(&text)));
         let printed_parsed =
             to_mayql(&catalog, &parsed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -80,7 +80,7 @@ fn unparse_reparse_roundtrip() {
 
         let text = to_mayql(&catalog, &plan)
             .unwrap_or_else(|e| panic!("seed {seed}: unparse failed: {e}\nplan:\n{plan}"));
-        let reparsed = compile(&catalog, &text)
+        let reparsed = compile_unoptimized(&catalog, &text)
             .unwrap_or_else(|e| panic!("seed {seed}: {text}\n{}", e.render(&text)));
         let text2 = to_mayql(&catalog, &reparsed)
             .unwrap_or_else(|e| panic!("seed {seed}: re-unparse failed: {e}"));
@@ -129,7 +129,7 @@ fn weighted_repair_text_matches_hand_built() {
     let catalog = Catalog::from_world_set(&ws);
 
     let text = "repair key name in censusform weight by w";
-    let parsed = compile(&catalog, text).expect("repair parses");
+    let parsed = compile_unoptimized(&catalog, text).expect("repair parses");
     let hand = repair_key(Plan::scan("censusform"), &["name"], Some("w"));
     assert_eq!(
         to_mayql(&catalog, &parsed).expect("parsed has MayQL form"),

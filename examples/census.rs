@@ -15,20 +15,22 @@
 use maybms::algebra::{col, lit, run, Plan, Predicate};
 use maybms::core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
 use maybms::ql::{certain, conf, possible, repair_key};
-use maybms::sql::{compile, to_mayql, Catalog};
+use maybms::sql::{compile, compile_unoptimized, explain, parse_query, to_mayql, Catalog};
 
-/// Compile MayQL text and assert it lowers to exactly the given hand-built
+/// Compile MayQL text, assert it *lowers* to exactly the given hand-built
 /// plan (compared through the canonical MayQL printing, which is injective
-/// on the plan shapes the planner emits).
+/// on the plan shapes the planner emits), and return the **optimized** plan
+/// — the one the planner hands the executor by default.
 fn compile_checked(catalog: &Catalog, text: &str, hand_built: &Plan) -> Plan {
-    let plan = compile(catalog, text).unwrap_or_else(|e| panic!("{}", e.render(text)));
-    let printed = to_mayql(catalog, &plan).expect("lowered plan has a MayQL form");
+    let lowered =
+        compile_unoptimized(catalog, text).unwrap_or_else(|e| panic!("{}", e.render(text)));
+    let printed = to_mayql(catalog, &lowered).expect("lowered plan has a MayQL form");
     let expected = to_mayql(catalog, hand_built).expect("hand-built plan has a MayQL form");
     assert_eq!(
         printed, expected,
         "MayQL lowering diverged from the hand-built plan for: {text}"
     );
-    plan
+    compile(catalog, text).unwrap_or_else(|e| panic!("{}", e.render(text)))
 }
 
 fn main() {
@@ -126,6 +128,16 @@ fn main() {
     let clash_conf = run(&mut ws, &plan).expect("conf evaluates");
     println!("\n== {q4} ==");
     print!("{clash_conf}");
+
+    // What the optimizer does when a filter sits above a POSSIBLE
+    // subquery: the selection commutes *through* `possible` (the paper's
+    // equivalence σ ∘ possible = possible ∘ σ), so world-collapsing runs
+    // on the filtered — smallest — intermediate.
+    let q5 = "SELECT ssn FROM (SELECT POSSIBLE name, ssn FROM census) WHERE name = 'Smith'";
+    let parsed = parse_query(q5).expect("q5 parses");
+    let ex = explain(&catalog, &parsed).expect("q5 analyzes");
+    println!("\n== EXPLAIN {q5} ==");
+    print!("{ex}");
 
     // The repaired census introduced two components (one per person); after
     // the queries the world set still decomposes into those independent

@@ -16,10 +16,13 @@
 //!
 //! Statements end with `;`. `LET name = <query>;` evaluates a query once and
 //! registers the result as a new relation — the way to share one repair's
-//! components across several later queries. Meta commands: `\d` lists the
+//! components across several later queries. `EXPLAIN <query>;` shows the
+//! lowered and the optimized plan instead of evaluating (queries themselves
+//! always run through the optimizer). Meta commands: `\d` lists the
 //! relations, `\stats` shows the last query's executor statistics
-//! (descriptor-pool occupancy and hit rates, string-dictionary size), `\q`
-//! quits, `\help` shows the cheat sheet.
+//! (descriptor-pool occupancy and hit rates, string-dictionary size,
+//! elided dedups), `\timing` toggles per-statement wall-clock reporting,
+//! `\q` quits, `\help` shows the cheat sheet.
 //!
 //! In `--batch` mode the file is parsed as a script (`--` comments, `;`
 //! separators), each statement is echoed and executed, and the first error
@@ -28,11 +31,12 @@
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use maybms::algebra::{run_with_stats, ExecStats};
 use maybms::core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
 use maybms::sql::lexer::{lex, TokenKind};
-use maybms::sql::{parse_script, parse_statement, Catalog, Statement};
+use maybms::sql::{explain, parse_script, parse_statement, Catalog, Statement};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
@@ -54,7 +58,9 @@ fn main() -> ExitCode {
 }
 
 /// The paper's running example: one row per plausible reading of each
-/// scanned census form, weighted by how likely the OCR considers it.
+/// scanned census form, weighted by how likely the OCR considers it, plus
+/// a small certain `homes(ssn, city)` relation so join queries (and their
+/// `EXPLAIN` output) have something to join against out of the box.
 fn demo_world() -> WorldSet {
     let schema = Schema::of(&[
         ("name", ValueType::Str),
@@ -78,6 +84,20 @@ fn demo_world() -> WorldSet {
     .expect("rows match schema");
     let mut ws = WorldSet::new();
     ws.insert("censusform", URelation::from_certain(&rel))
+        .expect("certain relation is valid");
+
+    let homes_schema =
+        Schema::of(&[("ssn", ValueType::Int), ("city", ValueType::Str)]).expect("distinct columns");
+    let homes = [(185, "Armonk"), (785, "Putnam"), (186, "Armonk")];
+    let homes_rel = Relation::from_rows(
+        homes_schema,
+        homes
+            .iter()
+            .map(|&(s, c)| Tuple::new(vec![s.into(), Value::str(c)]))
+            .collect(),
+    )
+    .expect("rows match schema");
+    ws.insert("homes", URelation::from_certain(&homes_rel))
         .expect("certain relation is valid");
     ws
 }
@@ -111,10 +131,13 @@ fn batch(ws: &mut WorldSet, path: &str) -> ExitCode {
 
 fn interactive(ws: &mut WorldSet) -> ExitCode {
     println!("MayQL — type queries ending with `;`, \\help for help, \\q to quit.");
-    println!("Preloaded: censusform(name, ssn, w) — the paper's running example.");
+    println!(
+        "Preloaded: censusform(name, ssn, w), homes(ssn, city) — the paper's running example."
+    );
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     let mut last_stats: Option<ExecStats> = None;
+    let mut timing = false;
     loop {
         print!(
             "{}",
@@ -140,6 +163,10 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
                 "\\q" | "\\quit" => return ExitCode::SUCCESS,
                 "\\d" => describe(ws),
                 "\\stats" => stats(&last_stats),
+                "\\timing" => {
+                    timing = !timing;
+                    println!("Timing is {}.", if timing { "on" } else { "off" });
+                }
                 "\\help" | "\\h" => help(),
                 other => println!("unknown command `{other}`; try \\help"),
             }
@@ -162,8 +189,14 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
         match parse_statement(&src) {
             Err(e) => eprint!("{}", e.render(&src)),
             Ok(stmt) => {
-                if let Err(msg) = execute(ws, &stmt, &src, &mut last_stats) {
+                let start = Instant::now();
+                let outcome = execute(ws, &stmt, &src, &mut last_stats);
+                let elapsed = start.elapsed();
+                if let Err(msg) = outcome {
                     eprint!("{msg}");
+                }
+                if timing {
+                    println!("Time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
                 }
             }
         }
@@ -172,7 +205,9 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
 
 /// Compile and run one statement, printing its result. A `LET` registers
 /// the result as a relation instead, so its components are shared by every
-/// later query that scans it. `src` is the statement's source text (for the
+/// later query that scans it; an `EXPLAIN` prints the lowered and the
+/// optimized plan without evaluating. Queries run through the logical
+/// optimizer by default. `src` is the statement's source text (for the
 /// batch mode, the whole script — spans index into it either way), so
 /// semantic errors render with the same caret diagnostics as parse errors.
 /// Runtime errors carry no span and print as a plain message. Each run's
@@ -184,11 +219,13 @@ fn execute(
     last_stats: &mut Option<ExecStats>,
 ) -> Result<(), String> {
     let catalog = Catalog::from_world_set(ws);
+    let compile = |query: &maybms::sql::Query| -> Result<maybms::algebra::Plan, String> {
+        let (plan, _) = maybms::sql::lower(&catalog, query).map_err(|e| e.render(src))?;
+        maybms::sql::optimize_plan(&catalog, &plan, query.span()).map_err(|e| e.render(src))
+    };
     match stmt {
         Statement::Query(query) => {
-            let plan = maybms::sql::lower(&catalog, query)
-                .map(|(plan, _)| plan)
-                .map_err(|e| e.render(src))?;
+            let plan = compile(query)?;
             let (result, stats) = run_with_stats(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
             *last_stats = Some(stats);
             print!("{result}");
@@ -196,15 +233,18 @@ fn execute(
             Ok(())
         }
         Statement::Let { name, query, .. } => {
-            let plan = maybms::sql::lower(&catalog, query)
-                .map(|(plan, _)| plan)
-                .map_err(|e| e.render(src))?;
+            let plan = compile(query)?;
             let (result, stats) = run_with_stats(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
             *last_stats = Some(stats);
             let rows = result.len();
             ws.insert(name.name.clone(), result)
                 .map_err(|e| format!("error: {e}\n"))?;
             println!("relation `{}` materialized ({rows} rows)", name.name);
+            Ok(())
+        }
+        Statement::Explain { query, .. } => {
+            let ex = explain(&catalog, query).map_err(|e| e.render(src))?;
+            print!("{ex}");
             Ok(())
         }
     }
@@ -240,6 +280,10 @@ fn stats(last: &Option<ExecStats>) {
         p.conjoin_calls, p.conjoin_shortcuts, p.conjoin_inconsistent
     );
     println!("  string dict:     {} distinct strings", s.strings);
+    println!(
+        "  dedups elided:   {} (proven redundant by plan properties)",
+        s.dedups_elided
+    );
     println!("  output:          {} rows", s.output_rows);
 }
 
@@ -261,10 +305,12 @@ fn help() {
         "statements (end with `;`):\n  \
          SELECT [POSSIBLE|CERTAIN|CONF] cols|* FROM items [WHERE pred] [UNION ...];\n  \
          REPAIR KEY cols IN rel [WEIGHT BY col];\n  \
-         LET name = <query>;   -- materialize a result as a relation\n\
+         LET name = <query>;   -- materialize a result as a relation\n  \
+         EXPLAIN <query>;      -- show the lowered and optimized plans\n\
          meta commands:\n  \
          \\d      list relations and schemas\n  \
          \\stats  executor statistics of the last query\n  \
+         \\timing toggle wall-clock reporting per statement\n  \
          \\help   this help\n  \
          \\q      quit"
     );
