@@ -47,9 +47,11 @@ use std::hash::{BuildHasher, Hasher};
 use std::sync::Arc;
 
 use maybms_core::columnar::{ColumnVec, ColumnarURelation, StrPool};
+use maybms_core::intern::ShardDelta;
+use maybms_core::parallel::{chunk_ranges, run_tasks};
 use maybms_core::{
-    ComponentSet, DescId, DescriptorPool, FxBuildHasher, FxHashMap, MayError, PoolStats, Schema,
-    URelation, WorldSet,
+    ComponentSet, DescId, DescriptorPool, FxBuildHasher, FxHashMap, MayError, ParCfg, ParStats,
+    PoolStats, Schema, URelation, WorldSet,
 };
 
 use crate::plan::Plan;
@@ -69,6 +71,12 @@ pub struct EvalCtx<'a> {
     /// The run's string dictionary. Every string cell of every columnar
     /// relation in the run is a code into this pool.
     pub strings: StrPool,
+    /// The run's parallelism configuration. Operators (including extension
+    /// operators) consult [`ParCfg::workers_for`] before fanning a stage out
+    /// over morsels; results are deterministic for every thread count.
+    pub par: ParCfg,
+    /// Parallelism counters accumulated across the run's stages.
+    pub par_stats: ParStats,
     /// Memoized results of extension operators, keyed by `Arc` identity.
     /// A shared (cloned) `repair-key` subtree must evaluate *once* per run:
     /// re-running it would mint fresh components for each occurrence and
@@ -81,16 +89,29 @@ pub struct EvalCtx<'a> {
 
 impl<'a> EvalCtx<'a> {
     /// Build a fresh context (with an empty extension-operator memo and
-    /// fresh interning pools).
+    /// fresh interning pools). The thread budget comes from the environment
+    /// ([`ParCfg::from_env`]); use [`EvalCtx::with_par`] to pass one
+    /// explicitly.
     pub fn new(
         relations: &'a BTreeMap<String, URelation>,
         components: &'a mut ComponentSet,
+    ) -> Self {
+        EvalCtx::with_par(relations, components, ParCfg::from_env())
+    }
+
+    /// [`EvalCtx::new`] with an explicit parallelism configuration.
+    pub fn with_par(
+        relations: &'a BTreeMap<String, URelation>,
+        components: &'a mut ComponentSet,
+        par: ParCfg,
     ) -> Self {
         EvalCtx {
             relations,
             components,
             pool: DescriptorPool::new(),
             strings: StrPool::new(),
+            par,
+            par_stats: ParStats::default(),
             ext_cache: FxHashMap::default(),
             dedups_elided: 0,
         }
@@ -117,6 +138,11 @@ pub struct ExecStats {
     /// Deduplication sweeps skipped because a derived plan property
     /// (distinctness, descriptor-triviality) proved them redundant.
     pub dedups_elided: usize,
+    /// The run's worker-thread budget ([`ParCfg::threads`]).
+    pub threads: usize,
+    /// Parallelism counters: workers actually used, morsels dispatched,
+    /// pool-shard entries merged, merge time.
+    pub par: ParStats,
 }
 
 /// A flat chained-bucket hash index over row slots: `heads[bucket]` points
@@ -304,6 +330,58 @@ impl<'s> Batch<'s> {
         self.sel = Some(kept);
     }
 
+    /// [`Batch::dedup`], morsel-parallel above the threshold. Rows are
+    /// hashed in parallel, scattered into `2^k` partitions by the *high*
+    /// bits of the row hash (the [`ChainedIndex`] buckets use the low bits,
+    /// so partitioning costs no bucket entropy), and each partition keeps
+    /// its first occurrences independently. Duplicates always share a hash,
+    /// hence a partition, so the union of the partition survivors is
+    /// exactly the sequential kept set; re-sorting the surviving positions
+    /// restores the sequential output order.
+    fn dedup_with(&mut self, pool: &DescriptorPool, par: &ParCfg, stats: &mut ParStats) {
+        let n = self.len();
+        let workers = par.workers_for(n);
+        if workers <= 1 {
+            self.dedup(pool);
+            return;
+        }
+        let rows: Vec<u32> = self.row_ids().collect();
+        let morsels = chunk_ranges(n, workers * 4);
+        let hashes: Vec<u64> = run_tasks(workers, morsels.len(), |t| {
+            morsels[t]
+                .clone()
+                .map(|p| self.row_hash(rows[p], pool))
+                .collect::<Vec<_>>()
+        })
+        .concat();
+        let parts = workers.next_power_of_two();
+        let shift = 64 - parts.trailing_zeros();
+        let mut parted: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for (p, &h) in hashes.iter().enumerate() {
+            parted[(h >> shift) as usize].push(p as u32);
+        }
+        stats.note_stage(workers, morsels.len() + parts);
+        let kept_parts: Vec<Vec<u32>> = run_tasks(workers, parts, |pi| {
+            let members = &parted[pi];
+            let mut index = ChainedIndex::with_capacity(members.len());
+            let mut kept: Vec<u32> = Vec::new();
+            for &pos in members {
+                let h = hashes[pos as usize];
+                let dup = index
+                    .probe(h)
+                    .any(|k| self.rows_eq(rows[kept[k] as usize], rows[pos as usize], pool));
+                if !dup {
+                    index.insert(h, kept.len());
+                    kept.push(pos);
+                }
+            }
+            kept
+        });
+        let mut kept: Vec<u32> = kept_parts.concat();
+        kept.sort_unstable();
+        self.sel = Some(kept.into_iter().map(|p| rows[p as usize]).collect());
+    }
+
     /// Apply the selection vector, yielding dense owned columns and
     /// descriptors. When no selection is pending, borrowed columns are
     /// cloned (a contiguous `memcpy` per column) and owned ones move.
@@ -330,6 +408,26 @@ impl<'s> Batch<'s> {
     }
 }
 
+/// Gather `idx` out of `col`, morsel-parallel above a fixed cutoff: each
+/// task gathers a contiguous slice of the indices and the partial columns
+/// are concatenated in task order, which is exactly `col.gather(idx)`.
+fn gather_par(col: &ColumnVec, idx: &[u32], workers: usize) -> ColumnVec {
+    const MIN_GATHER: usize = 8192;
+    if workers <= 1 || idx.len() < MIN_GATHER {
+        return col.gather(idx);
+    }
+    let morsels = chunk_ranges(idx.len(), workers);
+    let parts = run_tasks(workers, morsels.len(), |t| {
+        col.gather(&idx[morsels[t].clone()])
+    });
+    let mut parts = parts.into_iter();
+    let mut out = parts.next().expect("at least one morsel");
+    for p in parts {
+        out.extend_all(&p);
+    }
+    out
+}
+
 /// Evaluate a plan against a world set. New components created by extension
 /// operators are added to `ws.components`; the base relations are untouched.
 ///
@@ -343,13 +441,30 @@ pub fn run(ws: &mut WorldSet, plan: &Plan) -> Result<URelation, MayError> {
     run_with_stats(ws, plan).map(|(result, _)| result)
 }
 
-/// Like [`run`], additionally reporting the run's [`ExecStats`].
+/// Like [`run`], additionally reporting the run's [`ExecStats`]. The thread
+/// budget comes from the environment ([`ParCfg::from_env`], i.e.
+/// `MAYBMS_THREADS`); [`run_with_stats_opts`] takes one explicitly.
 pub fn run_with_stats(ws: &mut WorldSet, plan: &Plan) -> Result<(URelation, ExecStats), MayError> {
+    run_with_stats_opts(ws, plan, &ParCfg::from_env())
+}
+
+/// [`run`] with an explicit parallelism configuration. The result is
+/// identical for every thread count (see the `parallel_differential` suite).
+pub fn run_with_opts(ws: &mut WorldSet, plan: &Plan, par: &ParCfg) -> Result<URelation, MayError> {
+    run_with_stats_opts(ws, plan, par).map(|(result, _)| result)
+}
+
+/// [`run_with_stats`] with an explicit parallelism configuration.
+pub fn run_with_stats_opts(
+    ws: &mut WorldSet,
+    plan: &Plan,
+    par: &ParCfg,
+) -> Result<(URelation, ExecStats), MayError> {
     let WorldSet {
         components,
         relations,
     } = ws;
-    let mut ctx = EvalCtx::new(relations, components);
+    let mut ctx = EvalCtx::with_par(relations, components, *par);
     // Convert every scanned base relation to columnar form once, up front.
     // The conversions live outside the context so batches can borrow them
     // while operators keep mutable access to the pools.
@@ -363,7 +478,13 @@ pub fn run_with_stats(ws: &mut WorldSet, plan: &Plan) -> Result<(URelation, Exec
             .ok_or_else(|| MayError::UnknownRelation(name.to_string()))?;
         scans.insert(
             name.to_string(),
-            ColumnarURelation::from_urelation(rel, &mut ctx.pool, &mut ctx.strings),
+            ColumnarURelation::from_urelation_with(
+                rel,
+                &mut ctx.pool,
+                &mut ctx.strings,
+                &ctx.par,
+                &mut ctx.par_stats,
+            ),
         );
     }
     let batch = eval_batch(plan, &scans, &mut ctx)?;
@@ -375,6 +496,8 @@ pub fn run_with_stats(ws: &mut WorldSet, plan: &Plan) -> Result<(URelation, Exec
         strings: ctx.strings.len(),
         output_rows: result.len(),
         dedups_elided: ctx.dedups_elided,
+        threads: ctx.par.threads,
+        par: ctx.par_stats,
     };
     Ok((result, stats))
 }
@@ -422,10 +545,28 @@ fn eval_batch<'s>(
             // Bound once per relation; the sweep below reads cells in place.
             let bound = predicate.bind(&b.schema)?;
             let col_refs: Vec<&ColumnVec> = b.cols.iter().map(Cow::as_ref).collect();
-            let sel: Vec<u32> = b
-                .row_ids()
-                .filter(|&i| bound.matches_cols(&col_refs, i as usize, &ctx.strings))
-                .collect();
+            let workers = ctx.par.workers_for(b.len());
+            let strings = &ctx.strings;
+            let sel: Vec<u32> = if workers <= 1 {
+                b.row_ids()
+                    .filter(|&i| bound.matches_cols(&col_refs, i as usize, strings))
+                    .collect()
+            } else {
+                // Morsel-parallel sweep: each task filters a contiguous
+                // range of the live rows; concatenating in task order keeps
+                // the output order sequential.
+                let rows: Vec<u32> = b.row_ids().collect();
+                let morsels = chunk_ranges(rows.len(), workers * 4);
+                ctx.par_stats.note_stage(workers, morsels.len());
+                run_tasks(workers, morsels.len(), |t| {
+                    rows[morsels[t].clone()]
+                        .iter()
+                        .copied()
+                        .filter(|&i| bound.matches_cols(&col_refs, i as usize, strings))
+                        .collect::<Vec<_>>()
+                })
+                .concat()
+            };
             drop(col_refs);
             b.sel = Some(sel);
             Ok(b)
@@ -454,7 +595,7 @@ fn eval_batch<'s>(
             if permutation && input.is_distinct() {
                 ctx.dedups_elided += 1;
             } else {
-                out.dedup(&ctx.pool);
+                out.dedup_with(&ctx.pool, &ctx.par, &mut ctx.par_stats);
             }
             Ok(out)
         }
@@ -474,42 +615,131 @@ fn eval_batch<'s>(
             // hash of its key cells (computed in place — no key vector is
             // ever materialized).
             let r_rows: Vec<u32> = r.row_ids().collect();
-            let mut built = ChainedIndex::with_capacity(r_rows.len());
-            for (slot, &ri) in r_rows.iter().enumerate() {
-                built.insert(key_hash(&r, ri, |&(_, rc)| rc), slot);
-            }
-            // Probe with the left key cells; verify candidates column-wise.
-            // Matches are collected as (left row, right row, descriptor)
-            // and the output columns are materialized afterwards, column at
-            // a time, by two vectorized gathers.
+            let workers = ctx.par.workers_for(l.len().max(r_rows.len()));
             let mut l_idx: Vec<u32> = Vec::new();
             let mut r_idx: Vec<u32> = Vec::new();
             let mut descs: Vec<DescId> = Vec::new();
-            for li in l.row_ids() {
-                for slot in built.probe(key_hash(&l, li, |&(lc, _)| lc)) {
-                    let ri = r_rows[slot];
-                    let keys_match = jp.shared.iter().all(|&(lc, rc)| {
-                        l.cols[lc].eq_cells(li as usize, &r.cols[rc], ri as usize)
-                    });
-                    if !keys_match {
-                        continue; // hash collision, not an equi-match
-                    }
-                    // A joined tuple exists only in worlds where both
-                    // inputs exist: the conjunction of the descriptors.
-                    // Inconsistent descriptors denote no worlds — drop.
-                    if let Some(d) = ctx.pool.conjoin(l.descs[li as usize], r.descs[ri as usize]) {
-                        l_idx.push(li);
-                        r_idx.push(ri);
-                        descs.push(d);
+            if workers <= 1 {
+                let mut built = ChainedIndex::with_capacity(r_rows.len());
+                for (slot, &ri) in r_rows.iter().enumerate() {
+                    built.insert(key_hash(&r, ri, |&(_, rc)| rc), slot);
+                }
+                // Probe with the left key cells; verify candidates
+                // column-wise. Matches are collected as (left row, right
+                // row, descriptor) and the output columns are materialized
+                // afterwards, column at a time, by two vectorized gathers.
+                for li in l.row_ids() {
+                    for slot in built.probe(key_hash(&l, li, |&(lc, _)| lc)) {
+                        let ri = r_rows[slot];
+                        let keys_match = jp.shared.iter().all(|&(lc, rc)| {
+                            l.cols[lc].eq_cells(li as usize, &r.cols[rc], ri as usize)
+                        });
+                        if !keys_match {
+                            continue; // hash collision, not an equi-match
+                        }
+                        // A joined tuple exists only in worlds where both
+                        // inputs exist: the conjunction of the descriptors.
+                        // Inconsistent descriptors denote no worlds — drop.
+                        if let Some(d) =
+                            ctx.pool.conjoin(l.descs[li as usize], r.descs[ri as usize])
+                        {
+                            l_idx.push(li);
+                            r_idx.push(ri);
+                            descs.push(d);
+                        }
                     }
                 }
+            } else {
+                // Morsel-parallel partitioned hash join. Build rows are
+                // hashed in parallel, scattered into `2^k` partitions by
+                // the hash's *high* bits (bucket selection uses the low
+                // bits, so partitioning costs no entropy), and one
+                // `ChainedIndex` per partition is built concurrently —
+                // inserting in ascending slot order, so each chain yields
+                // the same relative order a single global index would.
+                // Probe morsels conjoin through private pool shards; the
+                // shards are absorbed in task order and the minted handles
+                // remapped, which makes the match list independent of
+                // scheduling.
+                let build_morsels = chunk_ranges(r_rows.len(), workers * 4);
+                let r_hashes: Vec<u64> = run_tasks(workers, build_morsels.len(), |t| {
+                    r_rows[build_morsels[t].clone()]
+                        .iter()
+                        .map(|&ri| key_hash(&r, ri, |&(_, rc)| rc))
+                        .collect::<Vec<_>>()
+                })
+                .concat();
+                let parts = workers.next_power_of_two();
+                let shift = 64 - parts.trailing_zeros();
+                let mut parted: Vec<Vec<u32>> = vec![Vec::new(); parts];
+                for (slot, &h) in r_hashes.iter().enumerate() {
+                    parted[(h >> shift) as usize].push(slot as u32);
+                }
+                let indexes: Vec<ChainedIndex> = run_tasks(workers, parts, |pi| {
+                    let members = &parted[pi];
+                    let mut idx = ChainedIndex::with_capacity(members.len());
+                    for (k, &slot) in members.iter().enumerate() {
+                        idx.insert(r_hashes[slot as usize], k);
+                    }
+                    idx
+                });
+                let l_rows: Vec<u32> = l.row_ids().collect();
+                let probe_morsels = chunk_ranges(l_rows.len(), workers * 4);
+                ctx.par_stats
+                    .note_stage(workers, build_morsels.len() + parts + probe_morsels.len());
+                let pool = &ctx.pool;
+                type ProbeOut = (Vec<u32>, Vec<u32>, Vec<DescId>, ShardDelta);
+                let results: Vec<ProbeOut> = run_tasks(workers, probe_morsels.len(), |t| {
+                    let mut shard = pool.shard();
+                    let mut l_v: Vec<u32> = Vec::new();
+                    let mut r_v: Vec<u32> = Vec::new();
+                    let mut d_v: Vec<DescId> = Vec::new();
+                    for &li in &l_rows[probe_morsels[t].clone()] {
+                        let h = key_hash(&l, li, |&(lc, _)| lc);
+                        let pi = (h >> shift) as usize;
+                        let members = &parted[pi];
+                        for k in indexes[pi].probe(h) {
+                            let ri = r_rows[members[k] as usize];
+                            let keys_match = jp.shared.iter().all(|&(lc, rc)| {
+                                l.cols[lc].eq_cells(li as usize, &r.cols[rc], ri as usize)
+                            });
+                            if !keys_match {
+                                continue; // hash collision, not an equi-match
+                            }
+                            if let Some(d) =
+                                shard.conjoin(l.descs[li as usize], r.descs[ri as usize])
+                            {
+                                l_v.push(li);
+                                r_v.push(ri);
+                                d_v.push(d);
+                            }
+                        }
+                    }
+                    (l_v, r_v, d_v, shard.into_delta())
+                });
+                let started = std::time::Instant::now();
+                let mut deltas = Vec::with_capacity(results.len());
+                let mut parts_out = Vec::with_capacity(results.len());
+                for (l_v, r_v, d_v, delta) in results {
+                    deltas.push(delta);
+                    parts_out.push((l_v, r_v, d_v));
+                }
+                let entries: u64 = deltas.iter().map(|d| d.len() as u64).sum();
+                let remaps = ctx.pool.absorb(deltas);
+                for ((l_v, r_v, d_v), remap) in parts_out.into_iter().zip(&remaps) {
+                    l_idx.extend_from_slice(&l_v);
+                    r_idx.extend_from_slice(&r_v);
+                    descs.extend(d_v.into_iter().map(|d| remap.remap(d)));
+                }
+                ctx.par_stats
+                    .note_merge(entries, started.elapsed().as_nanos() as u64);
             }
             let mut cols: Vec<Cow<'s, ColumnVec>> = Vec::with_capacity(jp.schema.arity());
             for c in &l.cols {
-                cols.push(Cow::Owned(c.gather(&l_idx)));
+                cols.push(Cow::Owned(gather_par(c, &l_idx, workers)));
             }
             for &rc in &jp.right_keep {
-                cols.push(Cow::Owned(r.cols[rc].gather(&r_idx)));
+                cols.push(Cow::Owned(gather_par(&r.cols[rc], &r_idx, workers)));
             }
             let mut out = Batch {
                 schema: Cow::Owned(jp.schema),
@@ -527,7 +757,7 @@ fn eval_batch<'s>(
             {
                 ctx.dedups_elided += 1;
             } else {
-                out.dedup(&ctx.pool);
+                out.dedup_with(&ctx.pool, &ctx.par, &mut ctx.par_stats);
             }
             Ok(out)
         }
@@ -559,7 +789,7 @@ fn eval_batch<'s>(
                 descs: Cow::Owned(descs),
                 sel: None,
             };
-            out.dedup(&ctx.pool);
+            out.dedup_with(&ctx.pool, &ctx.par, &mut ctx.par_stats);
             Ok(out)
         }
         Plan::Rename { input, renames } => {

@@ -128,6 +128,15 @@ pub trait ExtOperator: fmt::Debug + Send + Sync {
 
     /// Evaluate on the columnar WSD representation (see the trait docs for
     /// the ABI).
+    ///
+    /// Implementations may fan work out over morsels: `ctx.par` carries the
+    /// run's thread budget (gate stages on
+    /// [`ParCfg::workers_for`](maybms_core::ParCfg::workers_for)) and
+    /// `ctx.par_stats` the counters to report into. Parallel implementations
+    /// must stay deterministic — byte-identical output for every thread
+    /// count; mint descriptors through per-task
+    /// [`PoolShard`](maybms_core::intern::PoolShard)s absorbed in task
+    /// order, never through a shared lock.
     fn eval(
         &self,
         ctx: &mut EvalCtx<'_>,

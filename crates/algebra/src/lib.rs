@@ -44,7 +44,9 @@ pub mod optimize;
 pub mod plan;
 pub mod predicate;
 
-pub use eval::{infer_schema, run, run_with_stats, EvalCtx, ExecStats};
+pub use eval::{
+    infer_schema, run, run_with_opts, run_with_stats, run_with_stats_opts, EvalCtx, ExecStats,
+};
 pub use ext::{ExtOperator, ExtProps};
 pub use optimize::{optimize, PlanProps, SchemaProvider};
 pub use plan::Plan;

@@ -12,13 +12,13 @@
 
 use std::time::Instant;
 
-use maybms_algebra::{col, lit, optimize, run, Plan, Predicate};
+use maybms_algebra::{col, lit, optimize, run, run_with_opts, Plan, Predicate};
 use maybms_bench::{
     conf_chain_workload, conf_disjoint_workload, join_columnar_workload, join_workload,
     normalization_workload, repair_workload,
 };
 use maybms_core::rng::Rng;
-use maybms_core::WorldSet;
+use maybms_core::{ParCfg, WorldSet};
 use maybms_ql::{conf, possible, repair_key};
 use maybms_sql::{compile, Catalog};
 
@@ -190,5 +190,80 @@ fn main() {
             run(ws, &plan).expect("conf workload is well-typed").len()
         });
         emit("conf_chain", n, rows, ms);
+    }
+
+    // Morsel-driven parallelism: the three heaviest workloads at 10⁶ rows,
+    // each timed single-threaded (`_t1`) and at `MAYBMS_BENCH_THREADS`
+    // workers (`_tN`, default 4), with the output cardinality asserted
+    // equal — the parallel paths promise byte-identical results, so a row
+    // drift here is a correctness bug, not a perf delta. 10⁷ rows ride
+    // behind `MAYBMS_BENCH_HUGE=1`. This phase runs in quick mode too: the
+    // committed baseline carries per-row `"tol"` overrides because the
+    // speedup (or, on a single-core runner, the oversubscription overhead)
+    // is entirely a function of the host's core count.
+    let par_threads: usize = std::env::var("MAYBMS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(4);
+    let par_sizes: &[usize] = if std::env::var("MAYBMS_BENCH_HUGE").is_ok() {
+        &[1_000_000, 10_000_000]
+    } else {
+        &[1_000_000]
+    };
+    let t1 = ParCfg::with_threads(1);
+    let tn = ParCfg::with_threads(par_threads);
+
+    for &n in par_sizes {
+        let ws = normalization_workload(&mut Rng::new(0xBE7C), n);
+        let (rows1, ms1) = bench_min(&ws, |ws| {
+            ws.normalize_with(&t1);
+            ws.relations["r"].len()
+        });
+        emit("normalize_t1", n, rows1, ms1);
+        let (rows_n, ms_n) = bench_min(&ws, |ws| {
+            ws.normalize_with(&tn);
+            ws.relations["r"].len()
+        });
+        assert_eq!(rows1, rows_n, "parallel normalize changed the result size");
+        emit(&format!("normalize_t{par_threads}"), n, rows_n, ms_n);
+    }
+
+    for &n in par_sizes {
+        let ws = join_workload(&mut Rng::new(0x10A0), n);
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .join(Plan::scan("r3"));
+        let (rows1, ms1) = bench_min(&ws, |ws| {
+            run_with_opts(ws, &plan, &t1)
+                .expect("join workload is well-typed")
+                .len()
+        });
+        emit("join3_t1", n, rows1, ms1);
+        let (rows_n, ms_n) = bench_min(&ws, |ws| {
+            run_with_opts(ws, &plan, &tn)
+                .expect("join workload is well-typed")
+                .len()
+        });
+        assert_eq!(rows1, rows_n, "parallel join changed the result size");
+        emit(&format!("join3_t{par_threads}"), n, rows_n, ms_n);
+    }
+
+    for &n in par_sizes {
+        let ws = repair_workload(&mut Rng::new(0x4E9A), n);
+        let plan = repair_key(Plan::scan("r"), &["k"], Some("w"));
+        let (rows1, ms1) = bench_min(&ws, |ws| {
+            run_with_opts(ws, &plan, &t1)
+                .expect("repair workload is well-typed")
+                .len()
+        });
+        emit("repair_key_t1", n, rows1, ms1);
+        let (rows_n, ms_n) = bench_min(&ws, |ws| {
+            run_with_opts(ws, &plan, &tn)
+                .expect("repair workload is well-typed")
+                .len()
+        });
+        assert_eq!(rows1, rows_n, "parallel repair-key changed the result size");
+        emit(&format!("repair_key_t{par_threads}"), n, rows_n, ms_n);
     }
 }

@@ -52,6 +52,7 @@ pub mod fxhash;
 pub mod intern;
 pub mod naive;
 pub mod normalize;
+pub mod parallel;
 pub mod rel;
 pub mod rng;
 pub mod schema;
@@ -65,6 +66,7 @@ pub use descriptor::{ComponentId, WsDescriptor};
 pub use error::MayError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intern::{DescId, DescriptorPool, PoolStats};
+pub use parallel::{ParCfg, ParStats};
 pub use rel::{Relation, Tuple};
 pub use schema::{Column, Schema};
 pub use urel::URelation;

@@ -30,7 +30,8 @@ use crate::columnar::{ColumnarURelation, StrPool};
 use crate::component::ComponentSet;
 use crate::descriptor::{ComponentId, WsDescriptor};
 use crate::fxhash::FxHashMap;
-use crate::intern::{DescId, DescriptorPool};
+use crate::intern::{DescId, DescInterner, DescriptorPool, ShardDelta};
+use crate::parallel::{chunk_ranges, par_sort_by, run_tasks, ParCfg, ParStats};
 use crate::rel::Tuple;
 use crate::urel::URelation;
 use crate::world::WorldSet;
@@ -40,11 +41,21 @@ use crate::world::WorldSet;
 /// Each relation goes through the *columnar* pipeline
 /// ([`normalize_relation`]); the row-oriented [`normalize_rows`] is kept as
 /// the reference implementation the columnar path is differentially tested
-/// against.
+/// against. The thread budget comes from the environment
+/// ([`ParCfg::from_env`], i.e. `MAYBMS_THREADS`); [`normalize_with`] takes
+/// it explicitly.
 pub fn normalize(ws: &mut WorldSet) {
+    normalize_with(ws, &ParCfg::from_env());
+}
+
+/// [`normalize`] with an explicit parallelism configuration. The result is
+/// byte-identical for every thread count: the parallel stages (conversion,
+/// canonical sort, per-tuple-group fixpoint) are deterministic, and the
+/// tuple groups the rewrites act on are independent by construction.
+pub fn normalize_with(ws: &mut WorldSet, par: &ParCfg) {
     let components = ws.components.clone();
     for rel in ws.relations.values_mut() {
-        normalize_relation(rel, &components);
+        normalize_relation_with(rel, &components, par);
     }
     gc_components(ws);
 }
@@ -67,14 +78,33 @@ pub fn normalize(ws: &mut WorldSet) {
 ///    original tuples (and, where a row survived unchanged, its original
 ///    descriptor) instead of re-materializing them from the columns.
 pub fn normalize_relation(rel: &mut URelation, components: &ComponentSet) {
+    normalize_relation_with(rel, components, &ParCfg::sequential());
+}
+
+/// [`normalize_relation`] with an explicit parallelism configuration.
+///
+/// Above the morsel threshold three stages fan out, each deterministic:
+/// the columnar conversion (per-morsel pool shards, merged in task order),
+/// the canonical sort key build plus [`par_sort_by`] (which reproduces a
+/// stable sort exactly — and the comparator is a *total* order on surviving
+/// rows, so it equals the sequential unstable sort's output too), and the
+/// per-tuple-group fixpoint (groups are independent; each task simplifies
+/// its groups against a private [`PoolShard`](crate::intern::PoolShard) and
+/// the resulting handles are remapped after a task-ordered absorb). The
+/// strip memo and the emit pass stay sequential — both are cheap relative
+/// to the sort and fixpoint.
+pub fn normalize_relation_with(rel: &mut URelation, components: &ComponentSet, par: &ParCfg) {
     if rel.is_empty() {
         return;
     }
     let mut pool = DescriptorPool::new();
     let mut strings = StrPool::new();
-    let col = ColumnarURelation::from_urelation(rel, &mut pool, &mut strings);
+    let mut par_stats = ParStats::default();
+    let col =
+        ColumnarURelation::from_urelation_with(rel, &mut pool, &mut strings, par, &mut par_stats);
     let orig_ids: Vec<DescId> = col.descs().to_vec();
     let n = col.len();
+    let workers = par.workers_for(n);
     // The original rows, each taken at most once during the emit pass below
     // (the columns hold independent copies of the values).
     let mut rows: Vec<Option<(Tuple, WsDescriptor)>> =
@@ -117,36 +147,79 @@ pub fn normalize_relation(rel: &mut URelation, components: &ComponentSet) {
     // with the permutation entry; ties fall back to the full column-wise
     // comparison.
     let mut keyed: Vec<(u64, u32)> = match col.columns().first() {
-        Some(first) => (0..n)
-            .map(|i| (first.sort_prefix(i, &strings), i as u32))
-            .collect(),
+        Some(first) => {
+            if workers <= 1 {
+                (0..n)
+                    .map(|i| (first.sort_prefix(i, &strings), i as u32))
+                    .collect()
+            } else {
+                let morsels = chunk_ranges(n, workers * 4);
+                par_stats.note_stage(workers, morsels.len());
+                run_tasks(workers, morsels.len(), |t| {
+                    morsels[t]
+                        .clone()
+                        .map(|i| (first.sort_prefix(i, &strings), i as u32))
+                        .collect::<Vec<_>>()
+                })
+                .concat()
+            }
+        }
         // Zero-arity relation: every tuple is ().
         None => (0..n).map(|i| (0, i as u32)).collect(),
     };
-    keyed.sort_unstable_by(|&(ka, i), &(kb, j)| {
+    let by_canonical = |&(ka, i): &(u64, u32), &(kb, j): &(u64, u32)| {
         ka.cmp(&kb).then_with(|| {
             col.cmp_rows(i as usize, j as usize, &strings)
                 .then_with(|| pool.cmp_terms(descs[i as usize], descs[j as usize]))
         })
-    });
+    };
+    if workers <= 1 {
+        keyed.sort_unstable_by(by_canonical);
+    } else {
+        // Rows that compare equal here are full `(tuple, descriptor)`
+        // duplicates (the very rows the dedup below removes), so the
+        // stable parallel sort and the sequential unstable sort produce
+        // the same surviving permutation.
+        par_sort_by(&mut keyed, workers, by_canonical);
+    }
     let mut perm: Vec<u32> = keyed.into_iter().map(|(_, i)| i).collect();
     perm.dedup_by(|&mut i, &mut j| {
         descs[i as usize] == descs[j as usize] && col.rows_eq(i as usize, j as usize)
     });
 
-    // Per-tuple-group local fixpoint, exactly as in `normalize_rows` but on
-    // canonical handles.
-    let mut out: Vec<(Tuple, WsDescriptor)> = Vec::with_capacity(perm.len());
-    let mut ids: Vec<DescId> = Vec::new();
-    let mut start = 0;
-    while start < perm.len() {
-        let mut end = start + 1;
-        while end < perm.len() && col.rows_eq(perm[start] as usize, perm[end] as usize) {
-            end += 1;
+    // Tuple-group boundaries over the canonical permutation.
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    {
+        let mut start = 0;
+        while start < perm.len() {
+            let mut end = start + 1;
+            while end < perm.len() && col.rows_eq(perm[start] as usize, perm[end] as usize) {
+                end += 1;
+            }
+            groups.push((start, end));
+            start = end;
         }
-        ids.clear();
-        ids.extend(perm[start..end].iter().map(|&i| descs[i as usize]));
-        if ids.len() > 1 {
+    }
+
+    // Per-tuple-group local fixpoint, exactly as in `normalize_rows` but on
+    // canonical handles. Only groups with more than one descriptor need it;
+    // they are independent of each other, so tasks simplify disjoint group
+    // ranges against private pool shards and the surviving handles are
+    // remapped into the global pool afterwards.
+    let multi: Vec<usize> = groups
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(s, e))| e - s > 1)
+        .map(|(g, _)| g)
+        .collect();
+    let mut resolved: Vec<Vec<DescId>> = Vec::with_capacity(multi.len());
+    let group_ids = |g: usize| -> Vec<DescId> {
+        let (s, e) = groups[g];
+        perm[s..e].iter().map(|&i| descs[i as usize]).collect()
+    };
+    if workers <= 1 || multi.len() < 2 {
+        for &g in &multi {
+            let mut ids = group_ids(g);
             loop {
                 ids.sort_unstable_by(|&a, &b| pool.cmp_terms(a, b));
                 ids.dedup();
@@ -154,7 +227,56 @@ pub fn normalize_relation(rel: &mut URelation, components: &ComponentSet) {
                     break;
                 }
             }
+            resolved.push(ids);
         }
+    } else {
+        let morsels = chunk_ranges(multi.len(), workers * 4);
+        par_stats.note_stage(workers, morsels.len());
+        let results: Vec<(Vec<Vec<DescId>>, ShardDelta)> = run_tasks(workers, morsels.len(), |t| {
+            let mut shard = pool.shard();
+            let lists: Vec<Vec<DescId>> = morsels[t]
+                .clone()
+                .map(|m| {
+                    let mut ids = group_ids(multi[m]);
+                    loop {
+                        ids.sort_unstable_by(|&a, &b| shard.cmp_terms(a, b));
+                        ids.dedup();
+                        if !simplify_disjunction_ids(&mut ids, &mut shard, components) {
+                            break;
+                        }
+                    }
+                    ids
+                })
+                .collect();
+            (lists, shard.into_delta())
+        });
+        let started = std::time::Instant::now();
+        let (lists, deltas): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let entries: u64 = deltas.iter().map(|d| d.len() as u64).sum();
+        let remaps = pool.absorb(deltas);
+        for (task_lists, remap) in lists.into_iter().zip(&remaps) {
+            for mut ids in task_lists {
+                for id in &mut ids {
+                    *id = remap.remap(*id);
+                }
+                resolved.push(ids);
+            }
+        }
+        par_stats.note_merge(entries, started.elapsed().as_nanos() as u64);
+    }
+
+    let mut out: Vec<(Tuple, WsDescriptor)> = Vec::with_capacity(perm.len());
+    let mut mi = 0;
+    for (g, &(start, end)) in groups.iter().enumerate() {
+        let single;
+        let ids: &[DescId] = if mi < multi.len() && multi[mi] == g {
+            mi += 1;
+            &resolved[mi - 1]
+        } else {
+            // Singleton group: its one stripped descriptor survives as-is.
+            single = [descs[perm[start] as usize]];
+            &single
+        };
         // Move the representative row out; its tuple is the group's tuple.
         let (tuple, rep_desc) = rows[perm[start] as usize]
             .take()
@@ -190,18 +312,19 @@ pub fn normalize_relation(rel: &mut URelation, components: &ComponentSet) {
             }
             out.push((tuple.clone(), desc));
         }
-        start = end;
     }
     rel.set_rows(out);
 }
 
 /// Absorption and coverage merging on canonical descriptor handles — the
 /// handle-level mirror of [`simplify_disjunction`]. All ids must be interned
-/// (canonical), so id equality is descriptor equality. Returns true when
+/// (canonical in `pool`), so id equality is descriptor equality. Generic
+/// over [`DescInterner`] so the parallel fixpoint can run it against a
+/// per-task [`PoolShard`](crate::intern::PoolShard). Returns true when
 /// anything changed.
-fn simplify_disjunction_ids(
+fn simplify_disjunction_ids<P: DescInterner>(
     ids: &mut Vec<DescId>,
-    pool: &mut DescriptorPool,
+    pool: &mut P,
     components: &ComponentSet,
 ) -> bool {
     let mut changed = false;
@@ -214,7 +337,7 @@ fn simplify_disjunction_ids(
             continue;
         }
         for b in 0..ids.len() {
-            if a != b && keep[b] && ids[a] != ids[b] && pool.is_subset(ids[a], ids[b]) {
+            if a != b && keep[b] && ids[a] != ids[b] && pool.subset_terms(ids[a], ids[b]) {
                 keep[b] = false;
                 changed = true;
             }
@@ -233,10 +356,10 @@ fn simplify_disjunction_ids(
     'restart: loop {
         for idx in 0..ids.len() {
             let d = ids[idx];
-            for ti in 0..pool.terms(d).len() {
-                let c = pool.terms(d)[ti].0;
-                let is_variant = |pool: &DescriptorPool, x: DescId, a: u16| {
-                    let (tx, td) = (pool.terms(x), pool.terms(d));
+            for ti in 0..pool.terms_of(d).len() {
+                let c = pool.terms_of(d)[ti].0;
+                let is_variant = |pool: &P, x: DescId, a: u16| {
+                    let (tx, td) = (pool.terms_of(x), pool.terms_of(d));
                     tx.len() == td.len()
                         && tx.iter().zip(td).enumerate().all(|(k, (&xt, &dt))| {
                             if k == ti {
@@ -249,7 +372,7 @@ fn simplify_disjunction_ids(
                 let n = components.get(c).alternatives();
                 if (0..n).all(|a| ids.iter().any(|&x| is_variant(pool, x, a))) {
                     ids.retain(|&x| !(0..n).any(|a| is_variant(pool, x, a)));
-                    ids.push(pool.without(d, c));
+                    ids.push(pool.drop_component(d, c));
                     changed = true;
                     continue 'restart;
                 }

@@ -1,0 +1,324 @@
+//! Morsel-driven parallelism primitives shared by the executor and the
+//! normalization pipeline.
+//!
+//! The container this project builds in has no registry access, so there is
+//! no rayon: everything here is built on [`std::thread::scope`]. The model
+//! is deliberately simple and deterministic:
+//!
+//! * work is split into **tasks** (usually contiguous row ranges — morsels,
+//!   or per-partition jobs);
+//! * a small pool of scoped worker threads pulls task indices from one
+//!   atomic counter ([`run_tasks`]);
+//! * each task produces a self-contained result (including, for stages that
+//!   mint descriptors or strings, its own pool shard delta), and results are
+//!   returned **in task order** — so the output of a parallel stage never
+//!   depends on which OS thread happened to run which task.
+//!
+//! Determinism is the load-bearing property. Every parallel stage in the
+//! engine is written so that, for a fixed input, its output is byte-identical
+//! for *any* thread count — the differential test machinery is the oracle
+//! (see the `parallel_differential` suite). Numeric descriptor handles and
+//! string codes may differ across thread counts; everything downstream
+//! compares descriptor and string *content*, and only the final
+//! row-oriented conversion is observable.
+
+use std::cmp::Ordering;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+/// Default minimum row count before a stage bothers to go parallel:
+/// below this, thread spawn and merge overhead dominates any win.
+pub const DEFAULT_MIN_ROWS: usize = 4096;
+
+/// Parallel execution knobs threaded through the executor and normalizer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParCfg {
+    /// Worker thread budget. `1` disables parallelism entirely (every stage
+    /// runs inline on the calling thread).
+    pub threads: usize,
+    /// Minimum number of rows (or tasks) a stage must process before it
+    /// fans out. Tests set this to `1` to force the parallel code paths on
+    /// tiny generated inputs.
+    pub min_rows: usize,
+}
+
+impl Default for ParCfg {
+    fn default() -> Self {
+        ParCfg::from_env()
+    }
+}
+
+impl ParCfg {
+    /// The configuration the environment asks for: `MAYBMS_THREADS` when
+    /// set (and ≥ 1), otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("MAYBMS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        ParCfg {
+            threads,
+            min_rows: DEFAULT_MIN_ROWS,
+        }
+    }
+
+    /// Single-threaded configuration (all stages inline).
+    pub fn sequential() -> Self {
+        ParCfg {
+            threads: 1,
+            min_rows: DEFAULT_MIN_ROWS,
+        }
+    }
+
+    /// A configuration with an explicit thread budget and the default
+    /// morsel threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        ParCfg {
+            threads: threads.max(1),
+            min_rows: DEFAULT_MIN_ROWS,
+        }
+    }
+
+    /// How many workers a stage over `rows` rows should use: `1` (inline)
+    /// when parallelism is off or the input is below the morsel threshold,
+    /// the full thread budget otherwise.
+    pub fn workers_for(&self, rows: usize) -> usize {
+        if self.threads <= 1 || rows < self.min_rows {
+            1
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Parallelism counters of one executor run, surfaced through `ExecStats`
+/// and the REPL's `\stats` meta-command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Maximum number of workers any stage fanned out to (1 = everything
+    /// ran inline).
+    pub workers_used: usize,
+    /// Total morsels (tasks) dispatched across all parallel stages.
+    pub morsels: u64,
+    /// Pool entries (descriptors + strings) minted inside worker shards and
+    /// merged back into the run-global pools.
+    pub shard_entries: u64,
+    /// Nanoseconds spent in the deterministic shard merge/remap steps.
+    pub merge_nanos: u64,
+}
+
+impl ParStats {
+    /// Record one parallel stage's fan-out.
+    pub fn note_stage(&mut self, workers: usize, morsels: usize) {
+        self.workers_used = self.workers_used.max(workers);
+        self.morsels += morsels as u64;
+    }
+
+    /// Record one shard merge (entries re-interned, time spent).
+    pub fn note_merge(&mut self, entries: u64, nanos: u64) {
+        self.shard_entries += entries;
+        self.merge_nanos += nanos;
+    }
+
+    /// Fold another run's counters into this one.
+    pub fn absorb(&mut self, other: &ParStats) {
+        self.workers_used = self.workers_used.max(other.workers_used);
+        self.morsels += other.morsels;
+        self.shard_entries += other.shard_entries;
+        self.merge_nanos += other.merge_nanos;
+    }
+}
+
+/// Split `0..n` into at most `parts` contiguous, non-empty, near-equal
+/// ranges (fewer when `n < parts`).
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `tasks` task closures on up to `workers` scoped threads, returning
+/// the results **in task order**.
+///
+/// Workers pull task indices from one shared atomic counter, so load
+/// balances dynamically; but because each task's result depends only on its
+/// own index (tasks own their state — e.g. a fresh pool shard per task, not
+/// per worker), the returned vector is identical no matter how tasks were
+/// scheduled. With `workers <= 1` or a single task everything runs inline on
+/// the calling thread. A panicking task propagates the panic.
+pub fn run_tasks<R, F>(workers: usize, tasks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 || tasks <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(tasks, || None);
+    let workers = workers.min(tasks);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut done: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let t = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                    if t >= tasks {
+                        break;
+                    }
+                    done.push((t, f(t)));
+                }
+                done
+            }));
+        }
+        for h in handles {
+            for (t, r) in h.join().expect("worker task panicked") {
+                slots[t] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every task index below `tasks` was claimed"))
+        .collect()
+}
+
+/// Sort `v` with up to `workers` threads. The result is exactly what
+/// `v.sort_by(cmp)` produces (a **stable** sort): chunks are stable-sorted
+/// in parallel, then adjacent sorted runs are merged pairwise with a
+/// left-biased merge, which preserves the original relative order of
+/// elements the comparator considers equal. Callers that need the
+/// single-thread fast path of `sort_unstable_by` should branch on
+/// `workers <= 1` themselves.
+pub fn par_sort_by<T, F>(v: &mut Vec<T>, workers: usize, cmp: F)
+where
+    T: Send + Sync + Copy,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = v.len();
+    if workers <= 1 || n < 2 {
+        v.sort_by(|a, b| cmp(a, b));
+        return;
+    }
+    let chunk = n.div_ceil(workers.min(n));
+    std::thread::scope(|scope| {
+        for part in v.chunks_mut(chunk) {
+            let cmp = &cmp;
+            scope.spawn(move || part.sort_by(|a, b| cmp(a, b)));
+        }
+    });
+    let mut runs: Vec<Vec<T>> = v.chunks(chunk).map(<[T]>::to_vec).collect();
+    while runs.len() > 1 {
+        // Merge adjacent pairs left-to-right; a trailing odd run carries
+        // over unchanged, keeping the run sequence order-preserving (and
+        // with it the stability of the whole sort).
+        let mut next: Vec<Option<Vec<T>>> = Vec::new();
+        let pairs = runs.len() / 2;
+        let merged = run_tasks(workers, pairs, |p| {
+            merge_sorted(&runs[2 * p], &runs[2 * p + 1], &cmp)
+        });
+        next.extend(merged.into_iter().map(Some));
+        if runs.len() % 2 == 1 {
+            next.push(runs.pop());
+        }
+        runs = next.into_iter().map(|r| r.expect("run present")).collect();
+    }
+    *v = runs.pop().expect("at least one run");
+}
+
+/// Left-biased merge of two sorted slices (equal elements keep `a` first).
+fn merge_sorted<T: Copy>(a: &[T], b: &[T], cmp: &impl Fn(&T, &T) -> Ordering) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(&a[i], &b[j]) != Ordering::Greater {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 16, 17, 1000] {
+            for parts in [1usize, 2, 3, 4, 7] {
+                let ranges = chunk_ranges(n, parts);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "contiguous");
+                    assert!(!r.is_empty(), "no empty morsels");
+                    expect = r.end;
+                }
+                assert_eq!(expect, n, "ranges cover 0..{n}");
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn run_tasks_returns_in_task_order() {
+        let results = run_tasks(4, 37, |t| t * t);
+        assert_eq!(results, (0..37).map(|t| t * t).collect::<Vec<_>>());
+        // Inline path agrees.
+        assert_eq!(run_tasks(1, 5, |t| t + 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_sort_matches_stable_sort() {
+        let mut rng = Rng::new(0x5027);
+        for n in [0usize, 1, 2, 100, 4097] {
+            // Key with few distinct values so ties (and thus stability) are
+            // actually exercised; the payload records the original index.
+            let data: Vec<(u64, u32)> = (0..n).map(|i| (rng.next_u64() % 7, i as u32)).collect();
+            let mut expect = data.clone();
+            expect.sort_by_key(|e| e.0);
+            for workers in [2usize, 3, 4] {
+                let mut got = data.clone();
+                par_sort_by(&mut got, workers, |a, b| a.0.cmp(&b.0));
+                assert_eq!(got, expect, "n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_for_honors_threshold() {
+        let par = ParCfg {
+            threads: 4,
+            min_rows: 100,
+        };
+        assert_eq!(par.workers_for(99), 1);
+        assert_eq!(par.workers_for(100), 4);
+        assert_eq!(ParCfg::sequential().workers_for(1_000_000), 1);
+    }
+}

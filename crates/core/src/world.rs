@@ -88,6 +88,12 @@ impl WorldSet {
     pub fn normalize(&mut self) {
         normalize::normalize(self);
     }
+
+    /// [`normalize`](Self::normalize) with an explicit parallelism
+    /// configuration; the result is identical for every thread count.
+    pub fn normalize_with(&mut self, par: &crate::parallel::ParCfg) {
+        normalize::normalize_with(self, par);
+    }
 }
 
 #[cfg(test)]

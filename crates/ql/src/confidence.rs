@@ -4,9 +4,10 @@ use std::sync::Arc;
 
 use maybms_algebra::{EvalCtx, ExtOperator, ExtProps, Plan};
 use maybms_core::columnar::{ColumnVec, ColumnarURelation};
+use maybms_core::parallel::{chunk_ranges, run_tasks};
 use maybms_core::{Column, DescId, MayError, Schema, ValueType, WsDescriptor};
 
-use crate::order::{run_end, sorted_row_ids};
+use crate::order::{run_bounds, sorted_row_ids};
 
 // `Conf::eval` computes P(t) = P(d₁ ∨ … ∨ dₙ) per distinct tuple via
 // `ComponentSet::prob_of_dnf`, which factorizes the disjunction into
@@ -86,24 +87,45 @@ impl ExtOperator for Conf {
         // Group the rows of each distinct tuple as one contiguous run of a
         // sorted id permutation; the value columns are gathered once at the
         // end and the `conf` column is built as a raw float vector.
-        let perm = sorted_row_ids(r, &ctx.strings);
-        let mut kept: Vec<u32> = Vec::new();
-        let mut confs: Vec<f64> = Vec::new();
-        let mut start = 0;
-        while start < perm.len() {
-            let end = run_end(r, &perm, start);
-            // P(t in DB) = P(d₁ ∨ … ∨ dₙ), exact over the components the
-            // descriptors mention (they are independent of all others). The
-            // handles are resolved to descriptors once per distinct tuple,
-            // at this probabilistic-engine boundary.
-            let descs: Vec<WsDescriptor> = perm[start..end]
-                .iter()
-                .map(|&i| ctx.pool.to_descriptor(r.descs()[i as usize]))
-                .collect();
-            kept.push(perm[start]);
-            confs.push(ctx.components.prob_of_dnf(&descs));
-            start = end;
-        }
+        let perm = sorted_row_ids(r, &ctx.pool, &ctx.strings, &ctx.par, &mut ctx.par_stats);
+        let bounds = run_bounds(r, &perm);
+        // P(t in DB) = P(d₁ ∨ … ∨ dₙ), exact over the components the
+        // descriptors mention (they are independent of all others). The
+        // handles are resolved to descriptors once per distinct tuple, at
+        // this probabilistic-engine boundary. Each run is independent and
+        // the canonical order is total on descriptor content, so the
+        // per-run solves parallelize over morsels of runs with bit-exact
+        // results for every thread count.
+        let workers = ctx.par.workers_for(perm.len());
+        let pool = &ctx.pool;
+        let components = &*ctx.components;
+        let solve_runs = |range: std::ops::Range<usize>| {
+            let mut kept: Vec<u32> = Vec::with_capacity(range.len());
+            let mut confs: Vec<f64> = Vec::with_capacity(range.len());
+            for &(start, end) in &bounds[range] {
+                let descs: Vec<WsDescriptor> = perm[start as usize..end as usize]
+                    .iter()
+                    .map(|&i| pool.to_descriptor(r.descs()[i as usize]))
+                    .collect();
+                kept.push(perm[start as usize]);
+                confs.push(components.prob_of_dnf(&descs));
+            }
+            (kept, confs)
+        };
+        let (kept, confs) = if workers <= 1 {
+            solve_runs(0..bounds.len())
+        } else {
+            let morsels = chunk_ranges(bounds.len(), workers * 4);
+            ctx.par_stats.note_stage(workers, morsels.len());
+            let parts = run_tasks(workers, morsels.len(), |t| solve_runs(morsels[t].clone()));
+            let mut kept: Vec<u32> = Vec::with_capacity(bounds.len());
+            let mut confs: Vec<f64> = Vec::with_capacity(bounds.len());
+            for (k, c) in parts {
+                kept.extend_from_slice(&k);
+                confs.extend_from_slice(&c);
+            }
+            (kept, confs)
+        };
         let mut cols: Vec<ColumnVec> = r.columns().iter().map(|c| c.gather(&kept)).collect();
         cols.push(ColumnVec::from_floats(confs));
         let descs = vec![DescId::TAUTOLOGY; kept.len()];

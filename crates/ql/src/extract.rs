@@ -4,9 +4,10 @@ use std::sync::Arc;
 
 use maybms_algebra::{EvalCtx, ExtOperator, ExtProps, Plan};
 use maybms_core::columnar::ColumnarURelation;
+use maybms_core::parallel::{chunk_ranges, run_tasks};
 use maybms_core::{DescId, MayError, Schema, WsDescriptor};
 
-use crate::order::{run_end, sorted_row_ids};
+use crate::order::{run_bounds, sorted_row_ids};
 
 /// The algebraic properties shared by `possible` and `certain`: both
 /// commute with selection (they decide per tuple, before or after rows are
@@ -76,7 +77,7 @@ impl ExtOperator for Possible {
         // contradictions), so every annotated tuple is possible: the result
         // is the distinct tuples in canonical order, all certain. A sort of
         // row ids plus a column-wise gather — no per-row tuples.
-        let mut perm = sorted_row_ids(r, &ctx.strings);
+        let mut perm = sorted_row_ids(r, &ctx.pool, &ctx.strings, &ctx.par, &mut ctx.par_stats);
         perm.dedup_by(|&mut i, &mut j| r.rows_eq(i as usize, j as usize));
         let descs = vec![DescId::TAUTOLOGY; perm.len()];
         Ok(r.gather_with_descs(&perm, descs))
@@ -132,25 +133,38 @@ impl ExtOperator for Certain {
         inputs: Vec<ColumnarURelation>,
     ) -> Result<ColumnarURelation, MayError> {
         let r = &inputs[0];
-        let perm = sorted_row_ids(r, &ctx.strings);
-        let mut kept: Vec<u32> = Vec::new();
-        let mut start = 0;
-        while start < perm.len() {
-            let end = run_end(r, &perm, start);
-            // A tuple is certain iff the disjunction of its descriptors
-            // covers all worlds. `covers_all_worlds` factorizes into
-            // connected descriptor groups and only enumerates within a
-            // group; the handles are resolved to descriptors once per
-            // distinct tuple, at this probabilistic-engine boundary.
-            let descs: Vec<WsDescriptor> = perm[start..end]
-                .iter()
-                .map(|&i| ctx.pool.to_descriptor(r.descs()[i as usize]))
-                .collect();
-            if ctx.components.covers_all_worlds(&descs) {
-                kept.push(perm[start]);
+        let perm = sorted_row_ids(r, &ctx.pool, &ctx.strings, &ctx.par, &mut ctx.par_stats);
+        let bounds = run_bounds(r, &perm);
+        // A tuple is certain iff the disjunction of its descriptors covers
+        // all worlds. `covers_all_worlds` factorizes into connected
+        // descriptor groups and only enumerates within a group; the handles
+        // are resolved to descriptors once per distinct tuple, at this
+        // probabilistic-engine boundary. Runs are independent, so the
+        // coverage checks parallelize over morsels of runs; concatenating
+        // in task order keeps the output order sequential.
+        let workers = ctx.par.workers_for(perm.len());
+        let pool = &ctx.pool;
+        let components = &*ctx.components;
+        let check_runs = |range: std::ops::Range<usize>| {
+            let mut kept: Vec<u32> = Vec::new();
+            for &(start, end) in &bounds[range] {
+                let descs: Vec<WsDescriptor> = perm[start as usize..end as usize]
+                    .iter()
+                    .map(|&i| pool.to_descriptor(r.descs()[i as usize]))
+                    .collect();
+                if components.covers_all_worlds(&descs) {
+                    kept.push(perm[start as usize]);
+                }
             }
-            start = end;
-        }
+            kept
+        };
+        let kept: Vec<u32> = if workers <= 1 {
+            check_runs(0..bounds.len())
+        } else {
+            let morsels = chunk_ranges(bounds.len(), workers * 4);
+            ctx.par_stats.note_stage(workers, morsels.len());
+            run_tasks(workers, morsels.len(), |t| check_runs(morsels[t].clone())).concat()
+        };
         let descs = vec![DescId::TAUTOLOGY; kept.len()];
         Ok(r.gather_with_descs(&kept, descs))
     }

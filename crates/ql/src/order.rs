@@ -6,13 +6,42 @@
 //! rows form one contiguous run. Keeping the comparator in one place means
 //! a change to the canonical order (e.g. a prefix-key fast path) cannot
 //! silently desynchronize the operators' output orders.
+//!
+//! The order is *total on content*: ties on the tuple fall through to the
+//! descriptor's term list. Rows that still compare equal are exact
+//! `(tuple, descriptor)` duplicates, so every operator's output is
+//! independent of how a sort arranges them — which is what lets the
+//! parallel sort (stable) and the sequential fast path (unstable) coexist
+//! without an observable difference, and what pins the order in which
+//! `conf` feeds descriptors into the probability computation (floating
+//! point is not associative; a content-total order keeps the result
+//! bit-identical across thread counts).
 
 use maybms_core::columnar::{ColumnarURelation, StrPool};
+use maybms_core::parallel::par_sort_by;
+use maybms_core::{DescriptorPool, ParCfg, ParStats};
 
-/// Row ids of `r` sorted into canonical tuple order.
-pub(crate) fn sorted_row_ids(r: &ColumnarURelation, strings: &StrPool) -> Vec<u32> {
+/// Row ids of `r` sorted into canonical `(tuple, descriptor)` order.
+pub(crate) fn sorted_row_ids(
+    r: &ColumnarURelation,
+    pool: &DescriptorPool,
+    strings: &StrPool,
+    par: &ParCfg,
+    stats: &mut ParStats,
+) -> Vec<u32> {
     let mut perm: Vec<u32> = (0..r.len() as u32).collect();
-    perm.sort_unstable_by(|&i, &j| r.cmp_rows(i as usize, j as usize, strings));
+    let descs = r.descs();
+    let cmp = |&i: &u32, &j: &u32| {
+        r.cmp_rows(i as usize, j as usize, strings)
+            .then_with(|| pool.cmp_terms(descs[i as usize], descs[j as usize]))
+    };
+    let workers = par.workers_for(perm.len());
+    if workers <= 1 {
+        perm.sort_unstable_by(cmp);
+    } else {
+        stats.note_stage(workers, workers);
+        par_sort_by(&mut perm, workers, cmp);
+    }
     perm
 }
 
@@ -23,4 +52,19 @@ pub(crate) fn run_end(r: &ColumnarURelation, perm: &[u32], start: usize) -> usiz
         end += 1;
     }
     end
+}
+
+/// The tuple-run boundaries of a canonical permutation, as `(start, end)`
+/// index pairs into `perm`. The scan is sequential (it is a single linear
+/// pass); operators parallelize over the returned runs, which are
+/// independent per distinct tuple.
+pub(crate) fn run_bounds(r: &ColumnarURelation, perm: &[u32]) -> Vec<(u32, u32)> {
+    let mut bounds = Vec::new();
+    let mut start = 0;
+    while start < perm.len() {
+        let end = run_end(r, perm, start);
+        bounds.push((start as u32, end as u32));
+        start = end;
+    }
+    bounds
 }

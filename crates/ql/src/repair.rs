@@ -119,19 +119,30 @@ impl ExtOperator for RepairKey {
         // order, then a *stable* re-sort by the key columns — groups appear
         // in ascending key order, and within a group the members keep their
         // ascending full-tuple order, so alternative numbering is identical
-        // across runs over equal inputs.
-        let mut perm = sorted_row_ids(r, &ctx.strings);
+        // across runs over equal inputs. `par_sort_by` reproduces a stable
+        // sort exactly, so the parallel path preserves that numbering;
+        // component minting stays sequential (in group order), keeping the
+        // minted `ComponentId`s identical across thread counts.
+        let mut perm = sorted_row_ids(r, &ctx.pool, &ctx.strings, &ctx.par, &mut ctx.par_stats);
         perm.dedup_by(|&mut i, &mut j| r.rows_eq(i as usize, j as usize));
-        perm.sort_by(|&i, &j| {
+        let strings = &ctx.strings;
+        let by_key = |&i: &u32, &j: &u32| {
             key_idx
                 .iter()
                 .map(|&k| {
                     r.column(k)
-                        .cmp_cells(i as usize, r.column(k), j as usize, &ctx.strings)
+                        .cmp_cells(i as usize, r.column(k), j as usize, strings)
                 })
                 .find(|o| *o != std::cmp::Ordering::Equal)
                 .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        };
+        let workers = ctx.par.workers_for(perm.len());
+        if workers <= 1 {
+            perm.sort_by(by_key);
+        } else {
+            ctx.par_stats.note_stage(workers, workers);
+            maybms_core::parallel::par_sort_by(&mut perm, workers, by_key);
+        }
         let key_eq = |i: u32, j: u32| {
             key_idx
                 .iter()

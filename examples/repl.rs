@@ -21,7 +21,9 @@
 //! always run through the optimizer). Meta commands: `\d` lists the
 //! relations, `\stats` shows the last query's executor statistics
 //! (descriptor-pool occupancy and hit rates, string-dictionary size,
-//! elided dedups), `\timing` toggles per-statement wall-clock reporting,
+//! elided dedups, parallelism counters), `\timing` toggles per-statement
+//! wall-clock reporting, `\set threads N` changes the session's worker
+//! budget (initially `MAYBMS_THREADS` or the machine's parallelism),
 //! `\q` quits, `\help` shows the cheat sheet.
 //!
 //! In `--batch` mode the file is parsed as a script (`--` comments, `;`
@@ -33,8 +35,8 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use maybms::algebra::{run_with_stats, ExecStats};
-use maybms::core::{Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
+use maybms::algebra::{run_with_stats_opts, ExecStats};
+use maybms::core::{ParCfg, Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
 use maybms::sql::lexer::{lex, TokenKind};
 use maybms::sql::{explain, parse_script, parse_statement, Catalog, Statement};
 
@@ -118,10 +120,11 @@ fn batch(ws: &mut WorldSet, path: &str) -> ExitCode {
         }
     };
     let mut last_stats = None;
+    let threads = ParCfg::from_env().threads;
     for stmt in &statements {
         let span = stmt.span();
         println!("mayql> {};", &src[span.start..span.end]);
-        if let Err(msg) = execute(ws, stmt, &src, &mut last_stats) {
+        if let Err(msg) = execute(ws, stmt, &src, threads, &mut last_stats) {
             eprint!("{msg}");
             return ExitCode::FAILURE;
         }
@@ -138,6 +141,7 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
     let mut buffer = String::new();
     let mut last_stats: Option<ExecStats> = None;
     let mut timing = false;
+    let mut threads = ParCfg::from_env().threads;
     loop {
         print!(
             "{}",
@@ -168,6 +172,18 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
                     println!("Timing is {}.", if timing { "on" } else { "off" });
                 }
                 "\\help" | "\\h" => help(),
+                cmd if cmd.starts_with("\\set") => {
+                    let mut parts = cmd.split_whitespace().skip(1);
+                    let knob = parts.next();
+                    let value = parts.next().and_then(|v| v.parse::<usize>().ok());
+                    match (knob, value) {
+                        (Some("threads"), Some(n)) if n >= 1 => {
+                            threads = n;
+                            println!("threads = {n}");
+                        }
+                        _ => println!("usage: \\set threads <N>   (N >= 1)"),
+                    }
+                }
                 other => println!("unknown command `{other}`; try \\help"),
             }
             continue;
@@ -190,7 +206,7 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
             Err(e) => eprint!("{}", e.render(&src)),
             Ok(stmt) => {
                 let start = Instant::now();
-                let outcome = execute(ws, &stmt, &src, &mut last_stats);
+                let outcome = execute(ws, &stmt, &src, threads, &mut last_stats);
                 let elapsed = start.elapsed();
                 if let Err(msg) = outcome {
                     eprint!("{msg}");
@@ -211,14 +227,17 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
 /// batch mode, the whole script — spans index into it either way), so
 /// semantic errors render with the same caret diagnostics as parse errors.
 /// Runtime errors carry no span and print as a plain message. Each run's
-/// executor statistics are kept in `last_stats` for the `\stats` command.
+/// executor statistics are kept in `last_stats` for the `\stats` command;
+/// `threads` is the session's worker budget (`\set threads N`).
 fn execute(
     ws: &mut WorldSet,
     stmt: &Statement,
     src: &str,
+    threads: usize,
     last_stats: &mut Option<ExecStats>,
 ) -> Result<(), String> {
     let catalog = Catalog::from_world_set(ws);
+    let par = ParCfg::with_threads(threads);
     let compile = |query: &maybms::sql::Query| -> Result<maybms::algebra::Plan, String> {
         let (plan, _) = maybms::sql::lower(&catalog, query).map_err(|e| e.render(src))?;
         maybms::sql::optimize_plan(&catalog, &plan, query.span()).map_err(|e| e.render(src))
@@ -226,7 +245,8 @@ fn execute(
     match stmt {
         Statement::Query(query) => {
             let plan = compile(query)?;
-            let (result, stats) = run_with_stats(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
+            let (result, stats) =
+                run_with_stats_opts(ws, &plan, &par).map_err(|e| format!("error: {e}\n"))?;
             *last_stats = Some(stats);
             print!("{result}");
             println!("({} rows)", result.len());
@@ -234,7 +254,8 @@ fn execute(
         }
         Statement::Let { name, query, .. } => {
             let plan = compile(query)?;
-            let (result, stats) = run_with_stats(ws, &plan).map_err(|e| format!("error: {e}\n"))?;
+            let (result, stats) =
+                run_with_stats_opts(ws, &plan, &par).map_err(|e| format!("error: {e}\n"))?;
             *last_stats = Some(stats);
             let rows = result.len();
             ws.insert(name.name.clone(), result)
@@ -284,6 +305,17 @@ fn stats(last: &Option<ExecStats>) {
         "  dedups elided:   {} (proven redundant by plan properties)",
         s.dedups_elided
     );
+    println!(
+        "  parallelism:     {} workers used of {} budgeted, {} morsels",
+        s.par.workers_used.max(1),
+        s.threads,
+        s.par.morsels
+    );
+    println!(
+        "  shard merges:    {} entries re-interned in {:.3} ms",
+        s.par.shard_entries,
+        s.par.merge_nanos as f64 / 1e6
+    );
     println!("  output:          {} rows", s.output_rows);
 }
 
@@ -311,6 +343,7 @@ fn help() {
          \\d      list relations and schemas\n  \
          \\stats  executor statistics of the last query\n  \
          \\timing toggle wall-clock reporting per statement\n  \
+         \\set threads <N>  worker-thread budget for query execution\n  \
          \\help   this help\n  \
          \\q      quit"
     );
