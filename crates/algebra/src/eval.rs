@@ -50,8 +50,8 @@ use maybms_core::columnar::{ColumnVec, ColumnarURelation, StrPool};
 use maybms_core::intern::ShardDelta;
 use maybms_core::parallel::{chunk_ranges, run_tasks};
 use maybms_core::{
-    ComponentSet, DescId, DescriptorPool, FxBuildHasher, FxHashMap, MayError, ParCfg, ParStats,
-    PoolStats, Schema, URelation, WorldSet,
+    ComponentSet, ConfStats, DescId, DescriptorPool, FxBuildHasher, FxHashMap, MayError, ParCfg,
+    ParStats, PoolStats, Schema, URelation, WorldSet,
 };
 
 use crate::plan::Plan;
@@ -77,6 +77,9 @@ pub struct EvalCtx<'a> {
     pub par: ParCfg,
     /// Parallelism counters accumulated across the run's stages.
     pub par_stats: ParStats,
+    /// Confidence-solver counters accumulated across the run's `conf`
+    /// evaluations (exact and sampled groups, draws, largest group).
+    pub conf_stats: ConfStats,
     /// Memoized results of extension operators, keyed by `Arc` identity.
     /// A shared (cloned) `repair-key` subtree must evaluate *once* per run:
     /// re-running it would mint fresh components for each occurrence and
@@ -112,6 +115,7 @@ impl<'a> EvalCtx<'a> {
             strings: StrPool::new(),
             par,
             par_stats: ParStats::default(),
+            conf_stats: ConfStats::default(),
             ext_cache: FxHashMap::default(),
             dedups_elided: 0,
         }
@@ -143,6 +147,9 @@ pub struct ExecStats {
     /// Parallelism counters: workers actually used, morsels dispatched,
     /// pool-shard entries merged, merge time.
     pub par: ParStats,
+    /// Confidence-solver counters: groups solved exactly vs. by sampling,
+    /// total draws, largest connected group seen.
+    pub conf: ConfStats,
 }
 
 /// A flat chained-bucket hash index over row slots: `heads[bucket]` points
@@ -498,6 +505,7 @@ pub fn run_with_stats_opts(
         dedups_elided: ctx.dedups_elided,
         threads: ctx.par.threads,
         par: ctx.par_stats,
+        conf: ctx.conf_stats,
     };
     Ok((result, stats))
 }

@@ -1,6 +1,6 @@
 //! Timings for WSD normalization, a 3-way natural join, `repair-key`,
-//! exact `conf`, the end-to-end MayQL pipeline (parse + analyze/lower +
-//! execute), and the logical optimizer (`join3_filtered` and
+//! exact and (ε, δ)-approximate `conf`, the end-to-end MayQL pipeline
+//! (parse + analyze/lower + execute), and the logical optimizer (`join3_filtered` and
 //! `possible_pushdown`, each timed raw and optimized), printed as one JSON
 //! object per line (see crate docs for why this is not criterion).
 //!
@@ -14,12 +14,12 @@ use std::time::Instant;
 
 use maybms_algebra::{col, lit, optimize, run, run_with_opts, Plan, Predicate};
 use maybms_bench::{
-    conf_chain_workload, conf_disjoint_workload, join_columnar_workload, join_workload,
-    normalization_workload, repair_workload,
+    conf_chain_workload, conf_dense_workload, conf_disjoint_workload, join_columnar_workload,
+    join_workload, normalization_workload, repair_workload,
 };
 use maybms_core::rng::Rng;
 use maybms_core::{ParCfg, WorldSet};
-use maybms_ql::{conf, possible, repair_key};
+use maybms_ql::{conf, conf_approx, possible, repair_key};
 use maybms_sql::{compile, Catalog};
 
 /// Repetitions per workload; the minimum is reported.
@@ -30,10 +30,20 @@ fn emit(bench: &str, n: usize, rows_out: usize, millis: f64) {
 }
 
 /// Time `f` on a fresh clone of `ws` per run; report the fastest run.
-fn bench_min(ws: &WorldSet, mut f: impl FnMut(&mut WorldSet) -> usize) -> (usize, f64) {
+fn bench_min(ws: &WorldSet, f: impl FnMut(&mut WorldSet) -> usize) -> (usize, f64) {
+    bench_min_runs(ws, RUNS, f)
+}
+
+/// [`bench_min`] with an explicit repetition count — the deterministic
+/// ~minute-scale approximate-`conf` rows at 10⁶ time a single run.
+fn bench_min_runs(
+    ws: &WorldSet,
+    runs: usize,
+    mut f: impl FnMut(&mut WorldSet) -> usize,
+) -> (usize, f64) {
     let mut best = f64::INFINITY;
     let mut rows = 0;
-    for _ in 0..RUNS {
+    for _ in 0..runs {
         let mut ws = ws.clone();
         let start = Instant::now();
         rows = f(&mut ws);
@@ -190,6 +200,41 @@ fn main() {
             run(ws, &plan).expect("conf workload is well-typed").len()
         });
         emit("conf_chain", n, rows, ms);
+    }
+
+    // (ε, δ)-approximate confidence at scales the exact solver cannot
+    // reach. `conf_chain` here doubles the chain to 20 links (group cost
+    // 2²⁰ ≈ 10⁶, tens of milliseconds per tuple exactly); `conf_dense` is
+    // a 26-component / 30-descriptor connected tangle (cost 2²⁶). Both
+    // blow past the default cutover, so every group is sampled at
+    // (ε, δ) = (0.1, 0.05) — 185 draws per group — and a tuple costs
+    // microseconds instead. The sampler is deterministic (content-keyed
+    // counter streams), so the minute-scale 10⁶ rows time a single run.
+    let dense_shape = |rng: &mut Rng, n: usize| conf_dense_workload(rng, n, 26, 30, 2);
+    let approx_chain_sizes: &[usize] = if quick { &[] } else { &[100_000, 1_000_000] };
+    let approx_dense_sizes: &[usize] = if quick {
+        &[1_000]
+    } else {
+        &[1_000, 100_000, 1_000_000]
+    };
+    let approx_runs = |n: usize| if n >= 1_000_000 { 1 } else { RUNS };
+
+    for &n in approx_chain_sizes {
+        let ws = conf_chain_workload(&mut Rng::new(0xC4A1), n, 20, 2);
+        let plan = conf_approx(Plan::scan("r"), 0.1, 0.05);
+        let (rows, ms) = bench_min_runs(&ws, approx_runs(n), |ws| {
+            run(ws, &plan).expect("conf workload is well-typed").len()
+        });
+        emit("conf_chain", n, rows, ms);
+    }
+
+    for &n in approx_dense_sizes {
+        let ws = dense_shape(&mut Rng::new(0xDE45), n);
+        let plan = conf_approx(Plan::scan("r"), 0.1, 0.05);
+        let (rows, ms) = bench_min_runs(&ws, approx_runs(n), |ws| {
+            run(ws, &plan).expect("conf workload is well-typed").len()
+        });
+        emit("conf_dense", n, rows, ms);
     }
 
     // Morsel-driven parallelism: the three heaviest workloads at 10⁶ rows,

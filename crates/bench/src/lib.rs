@@ -161,6 +161,64 @@ pub fn conf_chain_workload(
     ws
 }
 
+/// Build a world set exercising the *sampling* path of `conf(eps, delta)`:
+/// one dense connected descriptor group per tuple, too expensive for the
+/// exact solver at any sane cutover.
+///
+/// Each tuple gets `comps_per_tuple` fresh components (`alternatives`
+/// alternatives each) and `descs_per_tuple` three-term descriptors. The
+/// first two terms of descriptor `i` cover the adjacent component pair
+/// `(i mod (comps−1), i mod (comps−1) + 1)` — walking every pair once
+/// `descs ≥ comps − 1`, which welds the whole tuple into a single
+/// connected group — and the third term lands on a random other
+/// component, thickening the group beyond a plain chain. The exact cost
+/// bound is therefore `min(2^descs, alternatives^comps)`: with the bench
+/// shape (26 binary components, 30 descriptors) that is `2²⁶ ≈ 6.7·10⁷`
+/// operations *per tuple*, so exact `conf` is infeasible while the
+/// sampler pays a few hundred draws.
+pub fn conf_dense_workload(
+    rng: &mut Rng,
+    tuples: usize,
+    comps_per_tuple: usize,
+    descs_per_tuple: usize,
+    alternatives: usize,
+) -> WorldSet {
+    assert!(comps_per_tuple >= 3, "need room for three distinct terms");
+    let mut ws = WorldSet::new();
+    let schema = Schema::of(&[("id", ValueType::Int)]).expect("single column");
+    let mut rel = URelation::new(schema);
+    for i in 0..tuples {
+        let t = Tuple::new(vec![Value::Int(i as i64)]);
+        let comps: Vec<ComponentId> = (0..comps_per_tuple)
+            .map(|_| {
+                ws.components
+                    .add(Component::uniform(alternatives).expect("alternatives > 0"))
+            })
+            .collect();
+        for d in 0..descs_per_tuple {
+            let a = d % (comps_per_tuple - 1);
+            let third = loop {
+                let j = rng.below(comps_per_tuple);
+                if j != a && j != a + 1 {
+                    break j;
+                }
+            };
+            let terms: Vec<(ComponentId, u16)> = [a, a + 1, third]
+                .iter()
+                .map(|&j| (comps[j], rng.below(alternatives) as u16))
+                .collect();
+            rel.push(
+                t.clone(),
+                WsDescriptor::from_terms(terms).expect("distinct components"),
+            )
+            .expect("schema ok");
+        }
+    }
+    ws.insert("r", rel)
+        .expect("descriptors reference fresh components");
+    ws
+}
+
 /// Build a certain relation `r(k, v, w)` of `n` rows whose key column `k`
 /// collides in groups of ~4, with a positive integer weight column `w` —
 /// the `repair-key ... weight by w` workload (grouping, per-group component

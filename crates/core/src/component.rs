@@ -63,6 +63,21 @@ impl Component {
     pub fn prob(&self, alternative: u16) -> f64 {
         self.probs[alternative as usize]
     }
+
+    /// Map a uniform draw `u ∈ (0, 1]` to an alternative by walking the
+    /// cumulative distribution. Used by the sampling confidence solver; with
+    /// a deterministic `u` source the chosen alternative is deterministic.
+    pub fn sample(&self, u: f64) -> u16 {
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u <= acc {
+                return i as u16;
+            }
+        }
+        // Float rounding can leave the accumulated sum a hair below 1.0.
+        (self.probs.len() - 1) as u16
+    }
 }
 
 /// The set of all components of an uncertain database. The represented world
@@ -287,8 +302,11 @@ impl ComponentSet {
 
     /// Exact probability that at least one descriptor of one connected group
     /// holds, by the cheaper of inclusion–exclusion and assignment
-    /// enumeration (both exact).
-    fn prob_of_group(&self, group: &[&WsDescriptor]) -> f64 {
+    /// enumeration (both exact). Correct for any descriptor set (both
+    /// methods are exact regardless of connectivity); connectivity only
+    /// matters for cost, which is what [`ComponentSet::group_exact_cost`]
+    /// bounds.
+    pub fn prob_of_group(&self, group: &[&WsDescriptor]) -> f64 {
         let enum_cost = self.assignment_count(group);
         let ie_cost = if group.len() < 64 {
             1u128 << group.len()
@@ -311,6 +329,23 @@ impl ComponentSet {
             });
             total
         }
+    }
+
+    /// Cost bound for solving one connected group *exactly*: the cheaper of
+    /// the two exact methods [`ComponentSet::prob_of_group`] chooses between,
+    /// i.e. `min(2^descriptors, Π alternative counts)` (saturating; the
+    /// inclusion–exclusion side saturates at `u128::MAX` for ≥ 64
+    /// descriptors, whose subset masks are unrepresentable). The sampling
+    /// confidence solver compares this bound against its cutover threshold:
+    /// groups under the threshold keep the exact factorized path, groups
+    /// over it are estimated.
+    pub fn group_exact_cost(&self, group: &[&WsDescriptor]) -> u128 {
+        let ie_cost = if group.len() < 64 {
+            1u128 << group.len()
+        } else {
+            u128::MAX
+        };
+        ie_cost.min(self.assignment_count(group))
     }
 
     /// Number of assignments [`Self::for_each_relevant_assignment`] would
@@ -431,9 +466,13 @@ impl ComponentSet {
 /// Partition descriptors into connected groups: two descriptors share a
 /// group iff they are linked by a chain of shared components. Union-find
 /// over descriptor indices, linear in the total number of terms. Groups are
-/// returned in first-occurrence order of their earliest descriptor, so the
-/// float combination order downstream is deterministic across processes.
-fn connected_groups<'d>(descs: &[&'d WsDescriptor]) -> Vec<Vec<&'d WsDescriptor>> {
+/// returned in first-occurrence order of their earliest descriptor, and
+/// each group lists its descriptors in input order, so both the float
+/// combination order and any content hashing downstream are deterministic
+/// across processes and thread counts. Public because the sampling
+/// confidence solver in `maybms-ql` partitions the same way and then
+/// decides exact-vs-sample per group.
+pub fn connected_groups<'d>(descs: &[&'d WsDescriptor]) -> Vec<Vec<&'d WsDescriptor>> {
     let mut parent: Vec<usize> = (0..descs.len()).collect();
     fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
@@ -467,6 +506,32 @@ fn connected_groups<'d>(descs: &[&'d WsDescriptor]) -> Vec<Vec<&'d WsDescriptor>
         groups[slot].push(d);
     }
     groups
+}
+
+/// Counters of one confidence-solver run (exact or sampling), surfaced
+/// through `ExecStats` and the REPL's `\stats` meta-command. Defined here —
+/// next to the group partition both solver paths share — so the executor
+/// crate can carry the counters without depending on `maybms-ql`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConfStats {
+    /// Connected descriptor groups solved by the exact factorized path.
+    pub exact_groups: u64,
+    /// Connected descriptor groups solved by sampling.
+    pub sampled_groups: u64,
+    /// Total Monte Carlo / Karp–Luby draws across all sampled groups.
+    pub samples_drawn: u64,
+    /// Largest connected group seen, in descriptors.
+    pub largest_group: u64,
+}
+
+impl ConfStats {
+    /// Fold another run's counters into this one.
+    pub fn absorb(&mut self, other: &ConfStats) {
+        self.exact_groups += other.exact_groups;
+        self.sampled_groups += other.sampled_groups;
+        self.samples_drawn += other.samples_drawn;
+        self.largest_group = self.largest_group.max(other.largest_group);
+    }
 }
 
 /// Whether a (sorted) partial assignment satisfies a descriptor. Every
@@ -523,6 +588,30 @@ mod tests {
         let both = vec![WsDescriptor::single(c0, 0), WsDescriptor::single(c0, 1)];
         assert!(cs.covers_all_worlds(&both));
         assert!(!cs.covers_all_worlds(&both[..1]));
+    }
+
+    #[test]
+    fn group_exact_cost_takes_the_cheaper_method() {
+        let mut cs = ComponentSet::new();
+        let c0 = cs.add(Component::uniform(2).unwrap());
+        let c1 = cs.add(Component::uniform(3).unwrap());
+        let d0 = WsDescriptor::single(c0, 0);
+        let d1 = WsDescriptor::single(c1, 1);
+        // Two descriptors over 2·3 assignments: IE (2² = 4) wins.
+        assert_eq!(cs.group_exact_cost(&[&d0, &d1]), 4);
+        // One descriptor over one binary component: enumeration (2) wins.
+        assert_eq!(cs.group_exact_cost(&[&d0]), 2);
+    }
+
+    #[test]
+    fn sample_walks_the_cdf() {
+        let c = Component::from_weights(&[1.0, 2.0, 1.0]).unwrap();
+        assert_eq!(c.sample(0.1), 0);
+        assert_eq!(c.sample(0.25), 0);
+        assert_eq!(c.sample(0.26), 1);
+        assert_eq!(c.sample(0.75), 1);
+        assert_eq!(c.sample(0.76), 2);
+        assert_eq!(c.sample(1.0), 2);
     }
 
     #[test]

@@ -35,9 +35,12 @@
 //!   unreferenced components;
 //! * [`naive`] — plain (single-world) implementations of the positive
 //!   relational algebra used by the per-world oracle;
-//! * [`rng`] — a tiny deterministic PRNG so that property tests and benches
-//!   need no external crates (the container has no registry access, so
-//!   `proptest`/`criterion` are intentionally not used).
+//! * [`rng`] — tiny deterministic PRNGs: a sequential SplitMix64 so that
+//!   property tests and benches need no external crates (the container has
+//!   no registry access, so `proptest`/`criterion` are intentionally not
+//!   used), and a splittable counter-based generator whose draws are pure
+//!   functions of `(seed, stream, index)` — the determinism backbone of the
+//!   sampling confidence solver in `maybms-ql`.
 //!
 //! Layering: `maybms-core` knows nothing about query plans. The algebra IR
 //! and its WSD-level executor live in `maybms-algebra`, and the paper's
@@ -61,7 +64,7 @@ pub mod value;
 pub mod world;
 
 pub use columnar::{ColumnData, ColumnVec, ColumnarURelation, StrPool};
-pub use component::{Component, ComponentSet, WorldPick};
+pub use component::{connected_groups, Component, ComponentSet, ConfStats, WorldPick};
 pub use descriptor::{ComponentId, WsDescriptor};
 pub use error::MayError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};

@@ -14,10 +14,16 @@
 //! * [`conf`] — exact tuple confidence: the probability of the disjunction
 //!   of the tuple's descriptors, appended as a `conf` float column. Exact
 //!   confidence computation is #P-hard in general; this implementation is
-//!   exponential only in the number of components relevant to each tuple and
-//!   is the ground truth future approximation PRs will be measured against.
+//!   exponential only in the largest connected descriptor group of each
+//!   tuple and is the ground truth the sampling solver is measured against.
+//! * [`conf_approx`] — (ε, δ)-approximate tuple confidence
+//!   (`SELECT CONF(eps, delta) …`): connected groups whose exact cost bound
+//!   is under a cutover threshold ([`DEFAULT_CONF_EXACT_LIMIT`], overridable
+//!   per node or via `MAYBMS_CONF_EXACT_LIMIT`) keep the exact factorized
+//!   path; larger groups are estimated by deterministic, content-keyed
+//!   Monte Carlo or Karp–Luby sampling with Hoeffding-derived draw counts.
 //!
-//! All four compose freely with the positive relational algebra of
+//! All five compose freely with the positive relational algebra of
 //! `maybms-algebra`: they are ordinary plan nodes.
 
 mod confidence;
@@ -25,6 +31,9 @@ mod extract;
 mod order;
 mod repair;
 
-pub use confidence::{conf, Conf, CONF_COLUMN};
+pub use confidence::{
+    conf, conf_approx, conf_approx_with, conf_exact_limit_from_env, ApproxConf, Conf, CONF_COLUMN,
+    CONF_EXACT_LIMIT_ENV, DEFAULT_CONF_EXACT_LIMIT, DEFAULT_CONF_SEED,
+};
 pub use extract::{certain, possible, Certain, Possible};
 pub use repair::{repair_key, RepairKey};

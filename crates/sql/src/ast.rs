@@ -44,7 +44,7 @@ impl Query {
 }
 
 /// The paper's uncertainty quantifiers, written directly after `SELECT`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Quantifier {
     /// Tuples occurring in at least one world.
     Possible,
@@ -52,6 +52,19 @@ pub enum Quantifier {
     Certain,
     /// Exact tuple confidence, appended as a `conf` column.
     Conf,
+    /// `CONF(eps, delta)` — (ε, δ)-approximate tuple confidence. The
+    /// argument spans let lowering anchor range errors at the offending
+    /// literal.
+    ConfApprox {
+        /// Absolute error bound ε.
+        eps: f64,
+        /// Failure probability δ.
+        delta: f64,
+        /// Span of the ε argument.
+        eps_span: Span,
+        /// Span of the δ argument.
+        delta_span: Span,
+    },
 }
 
 /// One `SELECT` block.

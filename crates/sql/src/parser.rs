@@ -9,7 +9,7 @@
 //! term      := select | repair | "(" query ")" ;
 //! select    := "SELECT" [ quantifier ] sel_list
 //!              "FROM" from_item { "," from_item } [ "WHERE" expr ] ;
-//! quantifier:= "POSSIBLE" | "CERTAIN" | "CONF" ;
+//! quantifier:= "POSSIBLE" | "CERTAIN" | "CONF" [ "(" number "," number ")" ] ;
 //! sel_list  := "*" | sel_item { "," sel_item } ;
 //! sel_item  := ident [ "AS" ident ] ;
 //! from_item := ident | "(" query ")" | "(" from_item ")" | repair ;
@@ -27,6 +27,9 @@
 //! `POSSIBLE`/`CERTAIN`/`CONF` are recognized as quantifiers only when
 //! followed by `*` or a non-reserved identifier, so a column named `conf`
 //! (which the engine's `conf` operator itself produces) remains selectable.
+//! `CONF (` commits to the approximate form `CONF(eps, delta)` — a select
+//! list can never continue `SELECT conf (`, so the parenthesis is
+//! unambiguous and arity/argument mistakes get dedicated diagnostics.
 
 use maybms_algebra::CmpOp;
 use maybms_core::Value;
@@ -249,7 +252,7 @@ impl Parser {
 
     fn select(&mut self) -> Result<SelectQuery, SqlError> {
         let start = self.expect_kw("SELECT")?;
-        let quantifier = self.quantifier();
+        let quantifier = self.quantifier()?;
         let items = if let TokenKind::Star = self.peek().kind {
             SelectList::Star(self.advance().span)
         } else {
@@ -280,8 +283,39 @@ impl Parser {
 
     /// A quantifier keyword is recognized only when the *next* token could
     /// start a select list (`*` or a non-reserved identifier); otherwise the
-    /// word is an ordinary column name.
-    fn quantifier(&mut self) -> Option<(Quantifier, Span)> {
+    /// word is an ordinary column name. Exception: `CONF (` always commits
+    /// to the approximate form `CONF(eps, delta)` — no valid select list can
+    /// follow a bare `conf` with a parenthesis.
+    fn quantifier(&mut self) -> Result<Option<(Quantifier, Span)>, SqlError> {
+        if self.is_kw("CONF") && self.peek_at(1).kind == TokenKind::LParen {
+            let kw = self.advance().span; // CONF
+            self.advance(); // (
+            let (eps, eps_span) = self.conf_param("eps")?;
+            if self.peek().kind == TokenKind::RParen {
+                return Err(SqlError::new(
+                    self.peek().span,
+                    "CONF takes two arguments: CONF(eps, delta)",
+                ));
+            }
+            self.expect(&TokenKind::Comma)?;
+            let (delta, delta_span) = self.conf_param("delta")?;
+            if self.peek().kind == TokenKind::Comma {
+                return Err(SqlError::new(
+                    self.peek().span,
+                    "CONF takes two arguments: CONF(eps, delta)",
+                ));
+            }
+            let close = self.expect(&TokenKind::RParen)?;
+            return Ok(Some((
+                Quantifier::ConfApprox {
+                    eps,
+                    delta,
+                    eps_span,
+                    delta_span,
+                },
+                kw.join(close),
+            )));
+        }
         let q = if self.is_kw("POSSIBLE") {
             Quantifier::Possible
         } else if self.is_kw("CERTAIN") {
@@ -289,7 +323,7 @@ impl Parser {
         } else if self.is_kw("CONF") {
             Quantifier::Conf
         } else {
-            return None;
+            return Ok(None);
         };
         let next_starts_list = match &self.peek_at(1).kind {
             TokenKind::Star => true,
@@ -297,9 +331,21 @@ impl Parser {
             _ => false,
         };
         if !next_starts_list {
-            return None;
+            return Ok(None);
         }
-        Some((q, self.advance().span))
+        Ok(Some((q, self.advance().span)))
+    }
+
+    /// One numeric `CONF(…)` argument (int or float literal).
+    fn conf_param(&mut self, what: &str) -> Result<(f64, Span), SqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Float(v) => Ok((v, self.advance().span)),
+            TokenKind::Int(v) => Ok((v as f64, self.advance().span)),
+            ref other => Err(SqlError::new(
+                self.peek().span,
+                format!("expected a numeric literal for CONF {what}, found {other}"),
+            )),
+        }
     }
 
     fn select_item(&mut self) -> Result<SelectItem, SqlError> {
@@ -531,6 +577,41 @@ mod tests {
             panic!("expected explicit items")
         };
         assert_eq!(items[0].column.name, "conf");
+    }
+
+    #[test]
+    fn parses_approximate_conf() {
+        let q = parse_query("SELECT CONF(0.05, 0.01) * FROM r").unwrap();
+        let Query::Select(s) = q else {
+            panic!("expected a select")
+        };
+        let Some((Quantifier::ConfApprox { eps, delta, .. }, span)) = s.quantifier else {
+            panic!("expected an approximate conf quantifier")
+        };
+        assert_eq!((eps, delta), (0.05, 0.01));
+        // The quantifier span covers `CONF(0.05, 0.01)`.
+        assert_eq!(span, Span::new(7, 23));
+        // Integer literals are accepted (range checking is lowering's job).
+        assert!(parse_query("SELECT conf(1, 0.5) a FROM r").is_ok());
+    }
+
+    #[test]
+    fn approximate_conf_reports_argument_mistakes() {
+        let e = parse_query("SELECT CONF(abc, 0.1) * FROM r").unwrap_err();
+        assert_eq!(
+            e.message,
+            "expected a numeric literal for CONF eps, found `abc`"
+        );
+        assert_eq!(e.span, Span::new(12, 15));
+        let e = parse_query("SELECT CONF(0.1) * FROM r").unwrap_err();
+        assert_eq!(e.message, "CONF takes two arguments: CONF(eps, delta)");
+        let e = parse_query("SELECT CONF(0.1, 0.2, 0.3) * FROM r").unwrap_err();
+        assert_eq!(e.message, "CONF takes two arguments: CONF(eps, delta)");
+        let e = parse_query("SELECT CONF(0.1, x) * FROM r").unwrap_err();
+        assert_eq!(
+            e.message,
+            "expected a numeric literal for CONF delta, found `x`"
+        );
     }
 
     #[test]

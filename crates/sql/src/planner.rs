@@ -23,7 +23,7 @@
 
 use maybms_algebra::{Operand, Plan, Predicate};
 use maybms_core::{Column, Schema, Value, ValueType};
-use maybms_ql::{certain, conf, possible, repair_key, CONF_COLUMN};
+use maybms_ql::{certain, conf, conf_approx, possible, repair_key, CONF_COLUMN};
 
 use crate::ast::{Expr, FromItem, Quantifier, Query, Repair, Scalar, SelectList, SelectQuery};
 use crate::catalog::Catalog;
@@ -203,16 +203,47 @@ fn apply_quantifier(
         Quantifier::Possible => Ok((possible(plan), schema)),
         Quantifier::Certain => Ok((certain(plan), schema)),
         Quantifier::Conf => {
-            let mut cols = schema.columns().to_vec();
-            cols.push(Column::new(CONF_COLUMN, ValueType::Float));
-            let schema = Schema::new(cols).map_err(|_| {
-                SqlError::new(
-                    span,
-                    format!("CONF input already has a `{CONF_COLUMN}` column"),
-                )
-            })?;
+            let schema = conf_schema(schema, span)?;
             Ok((conf(plan), schema))
         }
+        Quantifier::ConfApprox {
+            eps,
+            delta,
+            eps_span,
+            delta_span,
+        } => {
+            check_unit_interval(eps, eps_span, "eps")?;
+            check_unit_interval(delta, delta_span, "delta")?;
+            let schema = conf_schema(schema, span)?;
+            Ok((conf_approx(plan, eps, delta), schema))
+        }
+    }
+}
+
+/// The schema of a `conf` result: the input columns plus the appended
+/// `conf` float column (rejecting inputs that already carry one).
+fn conf_schema(schema: Schema, span: Span) -> Result<Schema, SqlError> {
+    let mut cols = schema.columns().to_vec();
+    cols.push(Column::new(CONF_COLUMN, ValueType::Float));
+    Schema::new(cols).map_err(|_| {
+        SqlError::new(
+            span,
+            format!("CONF input already has a `{CONF_COLUMN}` column"),
+        )
+    })
+}
+
+/// `CONF(eps, delta)` arguments must be probabilities strictly inside
+/// `(0, 1)`: 0 would demand an exact answer from a sampler, 1 makes the
+/// guarantee vacuous.
+fn check_unit_interval(v: f64, span: Span, what: &str) -> Result<(), SqlError> {
+    if v.is_finite() && v > 0.0 && v < 1.0 {
+        Ok(())
+    } else {
+        Err(SqlError::new(
+            span,
+            format!("CONF {what} must be in (0, 1), got {v}"),
+        ))
     }
 }
 

@@ -171,6 +171,66 @@ fn conf_over_conf_is_rejected() {
 }
 
 #[test]
+fn conf_approx_non_numeric_eps() {
+    let src = "SELECT CONF(abc, 0.1) * FROM census";
+    let e = parse_query(src).expect_err("non-numeric eps");
+    assert_eq!(e.span, span_of(src, "abc"));
+    assert_eq!(
+        e.render(src),
+        concat!(
+            "error: expected a numeric literal for CONF eps, found `abc`\n",
+            " --> line 1, column 13\n",
+            "  | SELECT CONF(abc, 0.1) * FROM census\n",
+            "  |             ^^^\n"
+        )
+    );
+}
+
+#[test]
+fn conf_approx_arity_mistakes() {
+    let src = "SELECT CONF(0.1) * FROM census";
+    let e = parse_query(src).expect_err("one argument");
+    assert_eq!(e.span, span_of(src, ")"));
+    assert_eq!(
+        e.render(src),
+        concat!(
+            "error: CONF takes two arguments: CONF(eps, delta)\n",
+            " --> line 1, column 16\n",
+            "  | SELECT CONF(0.1) * FROM census\n",
+            "  |                ^\n"
+        )
+    );
+    let src = "SELECT CONF(0.1, 0.2, 0.3) * FROM census";
+    let e = parse_query(src).expect_err("three arguments");
+    // The error points at the comma introducing the excess argument.
+    let comma = src.find(", 0.3").expect("second comma");
+    assert_eq!(e.span, Span::new(comma, comma + 1));
+    assert_eq!(e.message, "CONF takes two arguments: CONF(eps, delta)");
+}
+
+#[test]
+fn conf_approx_delta_out_of_range() {
+    let src = "SELECT CONF(0.1, 1.5) * FROM census";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "1.5"));
+    assert_eq!(
+        e.render(src),
+        concat!(
+            "error: CONF delta must be in (0, 1), got 1.5\n",
+            " --> line 1, column 18\n",
+            "  | SELECT CONF(0.1, 1.5) * FROM census\n",
+            "  |                  ^^^\n"
+        )
+    );
+    // Zero is rejected on either argument (a sampler cannot promise ε = 0),
+    // and the error anchors at the offending literal.
+    let src = "SELECT CONF(0.0, 0.5) * FROM census";
+    let e = err(src);
+    assert_eq!(e.span, span_of(src, "0.0"));
+    assert_eq!(e.message, "CONF eps must be in (0, 1), got 0");
+}
+
+#[test]
 fn parse_error_has_token_span() {
     let src = "SELECT FROM census";
     let e = parse_query(src).expect_err("missing select list");

@@ -108,6 +108,29 @@ optimized plan:
     assert_eq!(text, expected);
 }
 
+/// Approximate confidence renders its (ε, δ) parameters in the plan tree
+/// and commutes with selections exactly like exact `conf` — the sampling
+/// streams are keyed on descriptor-group content, so the rewrite cannot
+/// perturb the estimates.
+#[test]
+fn explain_shows_approx_conf_parameters() {
+    let text =
+        explain_text("SELECT ssn FROM (SELECT CONF(0.05, 0.01) * FROM census) WHERE ssn = 1");
+    let expected = "\
+lowered plan:
+  project[ssn]
+    select[ssn = 1]
+      conf(eps=0.05, delta=0.01)
+        scan[census]
+optimized plan:
+  project[ssn]
+    conf(eps=0.05, delta=0.01)
+      select[ssn = 1]
+        scan[census]
+";
+    assert_eq!(text, expected);
+}
+
 /// A predicate over the `conf` column an enclosing `CONF` produced cannot
 /// commute (it reads a produced column), while a predicate over input
 /// columns does.

@@ -18,7 +18,7 @@ use maybms_core::{
     Component, MayError, Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet,
     WsDescriptor,
 };
-use maybms_ql::{certain, conf, possible, repair_key};
+use maybms_ql::{certain, conf, conf_approx, possible, repair_key};
 
 /// Upper bound on enumerated worlds in tests; generated inputs stay far
 /// below it.
@@ -54,6 +54,15 @@ impl Default for GenConfig {
 /// Column-name pool shared across generated relations so natural joins have
 /// columns to match on.
 const COL_POOL: [&str; 4] = ["a", "b", "c", "d"];
+
+/// ε the generators use for `conf(eps, delta)` nodes. Modest on purpose:
+/// under a forced-sampling cutover (`MAYBMS_CONF_EXACT_LIMIT=0`) every
+/// generated group is estimated, and this budget needs only a few dozen
+/// draws per group.
+pub const GEN_CONF_EPS: f64 = 0.25;
+
+/// δ the generators use for `conf(eps, delta)` nodes.
+pub const GEN_CONF_DELTA: f64 = 0.1;
 
 /// Generate a small random world set: a few weighted components and a few
 /// integer relations whose rows carry random (consistent) descriptors.
@@ -261,8 +270,18 @@ pub fn wrap_uncertainty(rng: &mut Rng, ws: &WorldSet, plan: Plan) -> Plan {
         0 => possible(plan),
         1 => certain(plan),
         // Generated schemas draw from the a–d/z name pool, so a `conf`
-        // column can never pre-exist.
-        2 => conf(plan),
+        // column can never pre-exist. Half the time, use the (ε, δ)-
+        // approximate variant with the modest default parameters the
+        // generators standardize on — sampling streams are content-keyed,
+        // so the differential suites' optimized/unoptimized and
+        // threads=1/threads=4 comparisons stay bit-exact.
+        2 => {
+            if rng.chance(0.5) {
+                conf_approx(plan, GEN_CONF_EPS, GEN_CONF_DELTA)
+            } else {
+                conf(plan)
+            }
+        }
         3 => {
             let schema = plan_schema(&plan, ws);
             let names = schema.names();
@@ -542,24 +561,38 @@ fn gen_select_block(rng: &mut Rng, ws: &WorldSet, depth: usize) -> (String, Plan
         items.join(", ")
     };
 
-    // Quantifier (CONF only when no `conf` column pre-exists).
-    let quant = match rng.below(8) {
-        0 => Some(("possible", Quant::Possible)),
-        1 => Some(("certain", Quant::Certain)),
-        2 if schema.col_index("conf").is_err() => Some(("conf", Quant::Conf)),
+    // Quantifier (CONF variants only when no `conf` column pre-exists).
+    let quant = match rng.below(10) {
+        0 => Some(Quant::Possible),
+        1 => Some(Quant::Certain),
+        2 if schema.col_index("conf").is_err() => Some(Quant::Conf),
+        3 if schema.col_index("conf").is_err() => Some(Quant::ConfApprox),
         _ => None,
     };
     let mut text = kw(rng, "select");
-    if let Some((word, q)) = quant {
+    if let Some(q) = quant {
         text.push(' ');
+        let word = match q {
+            Quant::Possible => "possible",
+            Quant::Certain => "certain",
+            Quant::Conf | Quant::ConfApprox => "conf",
+        };
         text.push_str(&kw(rng, word));
+        if matches!(q, Quant::ConfApprox) {
+            text.push_str(&format!("({GEN_CONF_EPS}, {GEN_CONF_DELTA})"));
+        }
         (plan, schema) = match q {
             Quant::Possible => (possible(plan), schema),
             Quant::Certain => (certain(plan), schema),
-            Quant::Conf => {
+            Quant::Conf | Quant::ConfApprox => {
                 let mut cols = schema.columns().to_vec();
                 cols.push(maybms_core::Column::new("conf", ValueType::Float));
-                (conf(plan), Schema::new(cols).expect("conf column is fresh"))
+                let wrapped = if matches!(q, Quant::ConfApprox) {
+                    conf_approx(plan, GEN_CONF_EPS, GEN_CONF_DELTA)
+                } else {
+                    conf(plan)
+                };
+                (wrapped, Schema::new(cols).expect("conf column is fresh"))
             }
         };
     }
@@ -578,10 +611,12 @@ fn gen_select_block(rng: &mut Rng, ws: &WorldSet, depth: usize) -> (String, Plan
     (text, plan, schema)
 }
 
+#[derive(Clone, Copy)]
 enum Quant {
     Possible,
     Certain,
     Conf,
+    ConfApprox,
 }
 
 /// A from-item: a bare relation name, or a parenthesized subquery.

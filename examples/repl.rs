@@ -21,10 +21,14 @@
 //! always run through the optimizer). Meta commands: `\d` lists the
 //! relations, `\stats` shows the last query's executor statistics
 //! (descriptor-pool occupancy and hit rates, string-dictionary size,
-//! elided dedups, parallelism counters), `\timing` toggles per-statement
-//! wall-clock reporting, `\set threads N` changes the session's worker
-//! budget (initially `MAYBMS_THREADS` or the machine's parallelism),
-//! `\q` quits, `\help` shows the cheat sheet.
+//! elided dedups, parallelism and confidence-solver counters), `\timing`
+//! toggles per-statement wall-clock reporting, `\set threads N` changes
+//! the session's worker budget (initially `MAYBMS_THREADS` or the
+//! machine's parallelism), `\set conf_exact_limit N` changes the cost
+//! cutover above which an approximate `CONF(eps, delta)` switches from
+//! exact per-group computation to sampling (initially
+//! `MAYBMS_CONF_EXACT_LIMIT` or 4096), `\q` quits, `\help` shows the
+//! cheat sheet.
 //!
 //! In `--batch` mode the file is parsed as a script (`--` comments, `;`
 //! separators), each statement is echoed and executed, and the first error
@@ -37,6 +41,7 @@ use std::time::Instant;
 
 use maybms::algebra::{run_with_stats_opts, ExecStats};
 use maybms::core::{ParCfg, Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
+use maybms::ql::{conf_exact_limit_from_env, CONF_EXACT_LIMIT_ENV};
 use maybms::sql::lexer::{lex, TokenKind};
 use maybms::sql::{explain, parse_script, parse_statement, Catalog, Statement};
 
@@ -181,7 +186,17 @@ fn interactive(ws: &mut WorldSet) -> ExitCode {
                             threads = n;
                             println!("threads = {n}");
                         }
-                        _ => println!("usage: \\set threads <N>   (N >= 1)"),
+                        (Some("conf_exact_limit"), Some(n)) => {
+                            // Read back through the env so the session's
+                            // queries and the `\set` knob agree on one
+                            // source of truth.
+                            std::env::set_var(CONF_EXACT_LIMIT_ENV, n.to_string());
+                            println!("conf_exact_limit = {}", conf_exact_limit_from_env());
+                        }
+                        _ => println!(
+                            "usage: \\set threads <N>   (N >= 1)\n       \
+                             \\set conf_exact_limit <N>   (0 forces sampling)"
+                        ),
                     }
                 }
                 other => println!("unknown command `{other}`; try \\help"),
@@ -316,6 +331,13 @@ fn stats(last: &Option<ExecStats>) {
         s.par.shard_entries,
         s.par.merge_nanos as f64 / 1e6
     );
+    let c = s.conf;
+    if c.exact_groups + c.sampled_groups > 0 {
+        println!(
+            "  confidence:      {} groups exact, {} sampled, {} samples drawn (largest group {} descriptors)",
+            c.exact_groups, c.sampled_groups, c.samples_drawn, c.largest_group
+        );
+    }
     println!("  output:          {} rows", s.output_rows);
 }
 
@@ -335,7 +357,7 @@ fn describe(ws: &WorldSet) {
 fn help() {
     println!(
         "statements (end with `;`):\n  \
-         SELECT [POSSIBLE|CERTAIN|CONF] cols|* FROM items [WHERE pred] [UNION ...];\n  \
+         SELECT [POSSIBLE|CERTAIN|CONF[(eps, delta)]] cols|* FROM items [WHERE pred] [UNION ...];\n  \
          REPAIR KEY cols IN rel [WEIGHT BY col];\n  \
          LET name = <query>;   -- materialize a result as a relation\n  \
          EXPLAIN <query>;      -- show the lowered and optimized plans\n\
@@ -344,6 +366,7 @@ fn help() {
          \\stats  executor statistics of the last query\n  \
          \\timing toggle wall-clock reporting per statement\n  \
          \\set threads <N>  worker-thread budget for query execution\n  \
+         \\set conf_exact_limit <N>  cost cutover for CONF(eps, delta); 0 forces sampling\n  \
          \\help   this help\n  \
          \\q      quit"
     );
