@@ -48,6 +48,7 @@ use std::sync::Arc;
 
 use maybms_core::columnar::{ColumnVec, ColumnarURelation, StrPool};
 use maybms_core::intern::ShardDelta;
+use maybms_core::obs::{metrics, ObsCounters, QueryTrace, SpanId, Tracer};
 use maybms_core::parallel::{chunk_ranges, run_tasks};
 use maybms_core::{
     ComponentSet, ConfStats, DescId, DescriptorPool, FxBuildHasher, FxHashMap, MayError, ParCfg,
@@ -80,6 +81,10 @@ pub struct EvalCtx<'a> {
     /// Confidence-solver counters accumulated across the run's `conf`
     /// evaluations (exact and sampled groups, draws, largest group).
     pub conf_stats: ConfStats,
+    /// The run's span recorder. Disabled (every call a cheap no-op) except
+    /// under [`run_traced`]; extension operators may record sub-phase
+    /// events through it ([`Tracer::now`] / [`Tracer::event`]).
+    pub tracer: Tracer,
     /// Memoized results of extension operators, keyed by `Arc` identity.
     /// A shared (cloned) `repair-key` subtree must evaluate *once* per run:
     /// re-running it would mint fresh components for each occurrence and
@@ -116,9 +121,38 @@ impl<'a> EvalCtx<'a> {
             par,
             par_stats: ParStats::default(),
             conf_stats: ConfStats::default(),
+            tracer: Tracer::disabled(),
             ext_cache: FxHashMap::default(),
             dedups_elided: 0,
         }
+    }
+
+    /// Snapshot the counters the tracer attributes to spans. Only called on
+    /// the enabled path (span enter/exit), never per row.
+    fn counters_now(&self) -> ObsCounters {
+        let pool = self.pool.stats();
+        ObsCounters {
+            morsels: self.par_stats.morsels,
+            shard_entries: self.par_stats.shard_entries,
+            merge_nanos: self.par_stats.merge_nanos,
+            intern_calls: pool.intern_calls,
+            intern_hits: pool.intern_hits,
+            conjoin_calls: pool.conjoin_calls,
+            exact_groups: self.conf_stats.exact_groups,
+            sampled_groups: self.conf_stats.sampled_groups,
+            samples_drawn: self.conf_stats.samples_drawn,
+            busy_nanos: metrics().par_busy_nanos.get(),
+        }
+    }
+
+    fn span_enter(&mut self, label: String) -> SpanId {
+        let snap = self.counters_now();
+        self.tracer.enter(label, snap)
+    }
+
+    fn span_exit(&mut self, id: SpanId, rows_out: u64) {
+        let snap = self.counters_now();
+        self.tracer.exit(id, rows_out, snap);
     }
 }
 
@@ -127,8 +161,15 @@ impl<'a> EvalCtx<'a> {
 /// counters validate that representation changes keep interning behavior
 /// intact — e.g. a refactor that accidentally stopped sharing scan
 /// descriptors would show up as a hit-rate collapse.
+///
+/// Every completed run also folds this snapshot into the process-wide
+/// [`maybms_core::obs::metrics`] registry, so `ExecStats` is the per-run
+/// *view* and the registry is the durable store (the substrate for a
+/// server's `/metrics` endpoint).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecStats {
+    /// Wall-clock time of the whole run, in nanoseconds.
+    pub wall_nanos: u64,
     /// Distinct descriptors in the run's pool (occupancy, ≥ 1).
     pub descriptors: usize,
     /// Pool entries that spilled past the inline-term capacity.
@@ -150,6 +191,25 @@ pub struct ExecStats {
     /// Confidence-solver counters: groups solved exactly vs. by sampling,
     /// total draws, largest connected group seen.
     pub conf: ConfStats,
+}
+
+impl ExecStats {
+    /// Fold this run's counters into the process-wide registry
+    /// ([`maybms_core::obs::metrics`]). Called once per completed run by
+    /// the `run_*` entry points.
+    fn publish(&self) {
+        let m = metrics();
+        m.queries_total.inc();
+        m.query_rows_total.add(self.output_rows as u64);
+        m.query_wall_nanos.observe(self.wall_nanos);
+        m.query_rows.observe(self.output_rows as u64);
+        m.pool_intern_calls_total.add(self.pool.intern_calls);
+        m.pool_intern_hits_total.add(self.pool.intern_hits);
+        m.pool_conjoin_calls_total.add(self.pool.conjoin_calls);
+        m.conf_exact_groups_total.add(self.conf.exact_groups);
+        m.conf_sampled_groups_total.add(self.conf.sampled_groups);
+        m.conf_samples_drawn_total.add(self.conf.samples_drawn);
+    }
 }
 
 /// A flat chained-bucket hash index over row slots: `heads[bucket]` points
@@ -467,22 +527,53 @@ pub fn run_with_stats_opts(
     plan: &Plan,
     par: &ParCfg,
 ) -> Result<(URelation, ExecStats), MayError> {
+    run_impl(ws, plan, par, false).map(|(result, stats, _)| (result, stats))
+}
+
+/// [`run_with_stats_opts`] with per-node tracing enabled: additionally
+/// returns the run's [`QueryTrace`] — a span per evaluated plan node (plus
+/// operator sub-phases), each annotated with wall time, rows, and the
+/// counters the node incurred. The result relation is byte-identical to the
+/// untraced run's (the tracer only *observes*); the trace is what `EXPLAIN
+/// ANALYZE` renders and what [`QueryTrace::to_json`] exports for Perfetto.
+pub fn run_traced(
+    ws: &mut WorldSet,
+    plan: &Plan,
+    par: &ParCfg,
+) -> Result<(URelation, ExecStats, QueryTrace), MayError> {
+    run_impl(ws, plan, par, true)
+        .map(|(result, stats, trace)| (result, stats, trace.expect("tracing was enabled")))
+}
+
+fn run_impl(
+    ws: &mut WorldSet,
+    plan: &Plan,
+    par: &ParCfg,
+    traced: bool,
+) -> Result<(URelation, ExecStats, Option<QueryTrace>), MayError> {
+    let started = std::time::Instant::now();
     let WorldSet {
         components,
         relations,
     } = ws;
     let mut ctx = EvalCtx::with_par(relations, components, *par);
+    if traced {
+        ctx.tracer = Tracer::enabled();
+    }
     // Convert every scanned base relation to columnar form once, up front.
     // The conversions live outside the context so batches can borrow them
     // while operators keep mutable access to the pools.
+    let convert_started = ctx.tracer.now();
     let mut names = BTreeSet::new();
     collect_scans(plan, &mut names);
     let mut scans: BTreeMap<String, ColumnarURelation> = BTreeMap::new();
+    let mut converted_rows = 0u64;
     for name in names {
         let rel = ctx
             .relations
             .get(name)
             .ok_or_else(|| MayError::UnknownRelation(name.to_string()))?;
+        converted_rows += rel.len() as u64;
         scans.insert(
             name.to_string(),
             ColumnarURelation::from_urelation_with(
@@ -494,9 +585,12 @@ pub fn run_with_stats_opts(
             ),
         );
     }
+    ctx.tracer
+        .event("scan-convert", convert_started, converted_rows);
     let batch = eval_batch(plan, &scans, &mut ctx)?;
     let result = batch.into_columnar().to_urelation(&ctx.pool, &ctx.strings);
     let stats = ExecStats {
+        wall_nanos: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
         descriptors: ctx.pool.len(),
         descriptors_spilled: ctx.pool.spilled(),
         pool: ctx.pool.stats(),
@@ -507,7 +601,12 @@ pub fn run_with_stats_opts(
         par: ctx.par_stats,
         conf: ctx.conf_stats,
     };
-    Ok((result, stats))
+    stats.publish();
+    let trace = traced.then(|| {
+        let threads = ctx.par.threads;
+        std::mem::take(&mut ctx.tracer).finish(threads)
+    });
+    Ok((result, stats, trace))
 }
 
 /// Collect the names of every base relation a plan (including extension
@@ -532,11 +631,40 @@ fn collect_scans<'p>(plan: &'p Plan, names: &mut BTreeSet<&'p str>) {
     }
 }
 
+/// Span-wrapping entry for each plan node: the untraced path is a single
+/// branch on the tracer's enabled bool before delegating to
+/// [`eval_batch_inner`] — this is the whole per-node cost of having the
+/// tracer compiled in. The traced path opens a span labelled exactly like
+/// the `EXPLAIN` tree line (a memoized extension subtree is labelled
+/// `… (cached)` so the span tree reflects what actually executed) and
+/// charges the node the counter delta across its evaluation.
+fn eval_batch<'s>(
+    plan: &Plan,
+    scans: &'s BTreeMap<String, ColumnarURelation>,
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Batch<'s>, MayError> {
+    if !ctx.tracer.is_enabled() {
+        return eval_batch_inner(plan, scans, ctx);
+    }
+    let mut label = plan.node_label();
+    if let Plan::Ext(op) = plan {
+        let key = Arc::as_ptr(op) as *const () as usize;
+        if ctx.ext_cache.contains_key(&key) {
+            label.push_str(" (cached)");
+        }
+    }
+    let span = ctx.span_enter(label);
+    let result = eval_batch_inner(plan, scans, ctx);
+    let rows_out = result.as_ref().map(Batch::len).unwrap_or(0);
+    ctx.span_exit(span, rows_out as u64);
+    result
+}
+
 /// The batch evaluator proper. Returned batches may borrow columns from
 /// `scans` (lifetime `'s`), never from `ctx` itself — `ctx` stays freely
 /// borrowable for the next operator. See the module docs for why each
 /// operator is sound on the compact representation.
-fn eval_batch<'s>(
+fn eval_batch_inner<'s>(
     plan: &Plan,
     scans: &'s BTreeMap<String, ColumnarURelation>,
     ctx: &mut EvalCtx<'_>,

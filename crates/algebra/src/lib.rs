@@ -45,7 +45,8 @@ pub mod plan;
 pub mod predicate;
 
 pub use eval::{
-    infer_schema, run, run_with_opts, run_with_stats, run_with_stats_opts, EvalCtx, ExecStats,
+    infer_schema, run, run_traced, run_with_opts, run_with_stats, run_with_stats_opts, EvalCtx,
+    ExecStats,
 };
 pub use ext::{ExtOperator, ExtProps};
 pub use optimize::{optimize, PlanProps, SchemaProvider};

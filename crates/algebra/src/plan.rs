@@ -152,44 +152,61 @@ impl Plan {
         }
     }
 
+    /// The one-line label of this node in the rendered plan tree —
+    /// `scan[name]`, `select[pred]`, … — exactly the text `Display` prints
+    /// for the node (children excluded). The tracer uses the same labels
+    /// for its spans so `EXPLAIN` and `EXPLAIN ANALYZE` trees line up.
+    pub fn node_label(&self) -> String {
+        match self {
+            Plan::Scan(name) => format!("scan[{name}]"),
+            Plan::Select { predicate, .. } => format!("select[{predicate}]"),
+            Plan::Project { columns, .. } => format!("project[{}]", columns.join(", ")),
+            Plan::NaturalJoin { .. } => "natural-join".to_owned(),
+            Plan::Union { .. } => "union".to_owned(),
+            Plan::Rename { renames, .. } => {
+                let pairs: Vec<String> =
+                    renames.iter().map(|(o, n)| format!("{o} -> {n}")).collect();
+                format!("rename[{}]", pairs.join(", "))
+            }
+            Plan::Ext(op) => op.describe(),
+        }
+    }
+
+    /// Direct children of this node (extension operators report theirs via
+    /// [`ExtOperator::inputs`]).
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan(_) => Vec::new(),
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Rename { input, .. } => vec![input],
+            Plan::NaturalJoin { left, right } | Plan::Union { left, right } => {
+                vec![left, right]
+            }
+            Plan::Ext(op) => op.inputs(),
+        }
+    }
+
+    /// Total number of operator nodes in the tree. A traced run produces at
+    /// least one span per node (node ids are execution pre-order indices),
+    /// which the trace smoke tests assert against.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+
     fn fmt_tree(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
         for _ in 0..depth {
             f.write_str("  ")?;
         }
-        match self {
-            Plan::Scan(name) => writeln!(f, "scan[{name}]"),
-            Plan::Select { input, predicate } => {
-                writeln!(f, "select[{predicate}]")?;
-                input.fmt_tree(f, depth + 1)
-            }
-            Plan::Project { input, columns } => {
-                writeln!(f, "project[{}]", columns.join(", "))?;
-                input.fmt_tree(f, depth + 1)
-            }
-            Plan::NaturalJoin { left, right } => {
-                writeln!(f, "natural-join")?;
-                left.fmt_tree(f, depth + 1)?;
-                right.fmt_tree(f, depth + 1)
-            }
-            Plan::Union { left, right } => {
-                writeln!(f, "union")?;
-                left.fmt_tree(f, depth + 1)?;
-                right.fmt_tree(f, depth + 1)
-            }
-            Plan::Rename { input, renames } => {
-                let pairs: Vec<String> =
-                    renames.iter().map(|(o, n)| format!("{o} -> {n}")).collect();
-                writeln!(f, "rename[{}]", pairs.join(", "))?;
-                input.fmt_tree(f, depth + 1)
-            }
-            Plan::Ext(op) => {
-                writeln!(f, "{}", op.describe())?;
-                for input in op.inputs() {
-                    input.fmt_tree(f, depth + 1)?;
-                }
-                Ok(())
-            }
+        writeln!(f, "{}", self.node_label())?;
+        for child in self.children() {
+            child.fmt_tree(f, depth + 1)?;
         }
+        Ok(())
     }
 }
 

@@ -8,11 +8,14 @@
 //! clone of the generated world set, which keeps single-core timing noise
 //! out of the committed baseline. `MAYBMS_BENCH_QUICK=1` selects the small
 //! sizes only (the CI regression gate runs in that mode; see
-//! `src/bin/bench_check.rs`).
+//! `src/bin/bench_check.rs`). `MAYBMS_BENCH_TRACE=<dir>` additionally
+//! re-executes each plan-driven workload once with span tracing on and
+//! dumps a Chrome trace-event JSON per workload into `<dir>` — the timed
+//! runs themselves always execute with tracing disabled.
 
 use std::time::Instant;
 
-use maybms_algebra::{col, lit, optimize, run, run_with_opts, Plan, Predicate};
+use maybms_algebra::{col, lit, optimize, run, run_traced, run_with_opts, Plan, Predicate};
 use maybms_bench::{
     conf_chain_workload, conf_dense_workload, conf_disjoint_workload, join_columnar_workload,
     join_workload, normalization_workload, repair_workload,
@@ -52,6 +55,29 @@ fn bench_min_runs(
     (rows, best)
 }
 
+/// With `MAYBMS_BENCH_TRACE=<dir>` set, execute `plan` once more on a
+/// fresh clone with tracing enabled and write the span tree as Chrome
+/// trace-event JSON to `<dir>/<bench>_<n>.json` (loadable in
+/// `chrome://tracing` or Perfetto). A separate untimed run, so tracing
+/// never contaminates the reported numbers.
+fn dump_trace(ws: &WorldSet, plan: &Plan, bench: &str, n: usize) {
+    let Ok(dir) = std::env::var("MAYBMS_BENCH_TRACE") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let mut ws = ws.clone();
+    let (_, _, trace) =
+        run_traced(&mut ws, plan, &ParCfg::from_env()).expect("bench workload is well-typed");
+    let path = std::path::Path::new(&dir).join(format!("{bench}_{n}.json"));
+    let written =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, trace.to_json()));
+    if let Err(e) = written {
+        eprintln!("warning: cannot write trace {}: {e}", path.display());
+    }
+}
+
 fn main() {
     // `cargo bench` passes flags like `--bench`; this harness ignores them.
     let quick = std::env::var("MAYBMS_BENCH_QUICK").is_ok();
@@ -89,6 +115,7 @@ fn main() {
             run(ws, &plan).expect("join workload is well-typed").len()
         });
         emit("join3", n, rows, ms);
+        dump_trace(&ws, &plan, "join3", n);
     }
 
     // The columnar-specific join shape: a selection sweep on `r1` feeding a
@@ -104,6 +131,7 @@ fn main() {
             run(ws, &plan).expect("join workload is well-typed").len()
         });
         emit("join3_columnar", n, rows, ms);
+        dump_trace(&ws, &plan, "join3_columnar", n);
     }
 
     // The same 3-way join driven through the MayQL front-end: parse,
@@ -144,6 +172,7 @@ fn main() {
         });
         assert_eq!(rows, rows_opt, "optimization changed the result size");
         emit("join3_filtered", n, rows_opt, ms);
+        dump_trace(&ws, &optimized, "join3_filtered", n);
     }
 
     // A filter above `POSSIBLE` over a join: raw, the executor joins
@@ -168,6 +197,7 @@ fn main() {
         });
         assert_eq!(rows, rows_opt, "optimization changed the result size");
         emit("possible_pushdown", n, rows_opt, ms);
+        dump_trace(&ws, &optimized, "possible_pushdown", n);
     }
 
     for &n in sizes {
@@ -177,6 +207,7 @@ fn main() {
             run(ws, &plan).expect("repair workload is well-typed").len()
         });
         emit("repair_key", n, rows, ms);
+        dump_trace(&ws, &plan, "repair_key", n);
     }
 
     // Two disjoint 10-component groups (4 alternatives each) per tuple:
@@ -189,6 +220,7 @@ fn main() {
             run(ws, &plan).expect("conf workload is well-typed").len()
         });
         emit("conf_disjoint", n, rows, ms);
+        dump_trace(&ws, &plan, "conf_disjoint", n);
     }
 
     // One connected 11-component chain per tuple: the case factorization
@@ -200,6 +232,7 @@ fn main() {
             run(ws, &plan).expect("conf workload is well-typed").len()
         });
         emit("conf_chain", n, rows, ms);
+        dump_trace(&ws, &plan, "conf_chain", n);
     }
 
     // (ε, δ)-approximate confidence at scales the exact solver cannot

@@ -35,6 +35,10 @@
 //!   unreferenced components;
 //! * [`naive`] — plain (single-world) implementations of the positive
 //!   relational algebra used by the per-world oracle;
+//! * [`obs`] — observability: the per-query [`Tracer`]/[`QueryTrace`] span
+//!   machinery behind `EXPLAIN ANALYZE` and Chrome-trace export, plus the
+//!   process-wide [`metrics`] registry (counters and log-linear histograms)
+//!   that every executor run feeds;
 //! * [`rng`] — tiny deterministic PRNGs: a sequential SplitMix64 so that
 //!   property tests and benches need no external crates (the container has
 //!   no registry access, so `proptest`/`criterion` are intentionally not
@@ -55,6 +59,7 @@ pub mod fxhash;
 pub mod intern;
 pub mod naive;
 pub mod normalize;
+pub mod obs;
 pub mod parallel;
 pub mod rel;
 pub mod rng;
@@ -69,6 +74,7 @@ pub use descriptor::{ComponentId, WsDescriptor};
 pub use error::MayError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intern::{DescId, DescriptorPool, PoolStats};
+pub use obs::{metrics, Metrics, ObsCounters, QueryTrace, Span, SpanId, SpanKind, Tracer};
 pub use parallel::{ParCfg, ParStats};
 pub use rel::{Relation, Tuple};
 pub use schema::{Column, Schema};

@@ -97,6 +97,9 @@ pub fn normalize_relation_with(rel: &mut URelation, components: &ComponentSet, p
     if rel.is_empty() {
         return;
     }
+    let registry = crate::obs::metrics();
+    registry.normalize_runs_total.inc();
+    registry.normalize_rows_total.add(rel.len() as u64);
     let mut pool = DescriptorPool::new();
     let mut strings = StrPool::new();
     let mut par_stats = ParStats::default();

@@ -174,12 +174,14 @@ where
     let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(tasks, || None);
     let workers = workers.min(tasks);
+    let mut busy_nanos = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cursor = &cursor;
             let f = &f;
             handles.push(scope.spawn(move || {
+                let started = std::time::Instant::now();
                 let mut done: Vec<(usize, R)> = Vec::new();
                 loop {
                     let t = cursor.fetch_add(1, AtomicOrdering::Relaxed);
@@ -188,15 +190,22 @@ where
                     }
                     done.push((t, f(t)));
                 }
-                done
+                (done, started.elapsed())
             }));
         }
         for h in handles {
-            for (t, r) in h.join().expect("worker task panicked") {
+            let (done, elapsed) = h.join().expect("worker task panicked");
+            busy_nanos += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            for (t, r) in done {
                 slots[t] = Some(r);
             }
         }
     });
+    // One registry update per fan-out (not per task): worker occupancy and
+    // task throughput for the tracer's `occ=` annotation and `/metrics`.
+    let m = crate::obs::metrics();
+    m.par_tasks_total.add(tasks as u64);
+    m.par_busy_nanos.add(busy_nanos);
     slots
         .into_iter()
         .map(|r| r.expect("every task index below `tasks` was claimed"))

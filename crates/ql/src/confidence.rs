@@ -217,8 +217,9 @@ impl ExtOperator for Conf {
         // Group the rows of each distinct tuple as one contiguous run of a
         // sorted id permutation; the value columns are gathered once at the
         // end and the `conf` column is built as a raw float vector.
-        let perm = sorted_row_ids(r, &ctx.pool, &ctx.strings, &ctx.par, &mut ctx.par_stats);
+        let perm = sorted_row_ids(r, ctx);
         let bounds = run_bounds(r, &perm);
+        let solve_started = ctx.tracer.now();
         // P(t in DB) = P(d₁ ∨ … ∨ dₙ) over the components the descriptors
         // mention (they are independent of all others). The handles are
         // resolved to descriptors once per distinct tuple, at this
@@ -261,6 +262,8 @@ impl ExtOperator for Conf {
             }
             (kept, confs)
         };
+        ctx.tracer
+            .event("solve", solve_started, bounds.len() as u64);
         let mut cols: Vec<ColumnVec> = r.columns().iter().map(|c| c.gather(&kept)).collect();
         cols.push(ColumnVec::from_floats(confs));
         let descs = vec![DescId::TAUTOLOGY; kept.len()];

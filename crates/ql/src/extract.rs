@@ -77,10 +77,13 @@ impl ExtOperator for Possible {
         // contradictions), so every annotated tuple is possible: the result
         // is the distinct tuples in canonical order, all certain. A sort of
         // row ids plus a column-wise gather — no per-row tuples.
-        let mut perm = sorted_row_ids(r, &ctx.pool, &ctx.strings, &ctx.par, &mut ctx.par_stats);
+        let mut perm = sorted_row_ids(r, ctx);
+        let started = ctx.tracer.now();
         perm.dedup_by(|&mut i, &mut j| r.rows_eq(i as usize, j as usize));
         let descs = vec![DescId::TAUTOLOGY; perm.len()];
-        Ok(r.gather_with_descs(&perm, descs))
+        let out = r.gather_with_descs(&perm, descs);
+        ctx.tracer.event("dedup-gather", started, perm.len() as u64);
+        Ok(out)
     }
 }
 
@@ -133,8 +136,9 @@ impl ExtOperator for Certain {
         inputs: Vec<ColumnarURelation>,
     ) -> Result<ColumnarURelation, MayError> {
         let r = &inputs[0];
-        let perm = sorted_row_ids(r, &ctx.pool, &ctx.strings, &ctx.par, &mut ctx.par_stats);
+        let perm = sorted_row_ids(r, ctx);
         let bounds = run_bounds(r, &perm);
+        let check_started = ctx.tracer.now();
         // A tuple is certain iff the disjunction of its descriptors covers
         // all worlds. `covers_all_worlds` factorizes into connected
         // descriptor groups and only enumerates within a group; the handles
@@ -165,6 +169,8 @@ impl ExtOperator for Certain {
             ctx.par_stats.note_stage(workers, morsels.len());
             run_tasks(workers, morsels.len(), |t| check_runs(morsels[t].clone())).concat()
         };
+        ctx.tracer
+            .event("coverage-check", check_started, bounds.len() as u64);
         let descs = vec![DescId::TAUTOLOGY; kept.len()];
         Ok(r.gather_with_descs(&kept, descs))
     }

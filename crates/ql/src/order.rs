@@ -17,31 +17,33 @@
 //! point is not associative; a content-total order keeps the result
 //! bit-identical across thread counts).
 
-use maybms_core::columnar::{ColumnarURelation, StrPool};
+use maybms_algebra::EvalCtx;
+use maybms_core::columnar::ColumnarURelation;
 use maybms_core::parallel::par_sort_by;
-use maybms_core::{DescriptorPool, ParCfg, ParStats};
 
-/// Row ids of `r` sorted into canonical `(tuple, descriptor)` order.
-pub(crate) fn sorted_row_ids(
-    r: &ColumnarURelation,
-    pool: &DescriptorPool,
-    strings: &StrPool,
-    par: &ParCfg,
-    stats: &mut ParStats,
-) -> Vec<u32> {
+/// Row ids of `r` sorted into canonical `(tuple, descriptor)` order. Takes
+/// the whole evaluation context: the sort reads the pools and parallelism
+/// knobs and records a `canonical-sort` trace phase under the calling
+/// operator's span.
+pub(crate) fn sorted_row_ids(r: &ColumnarURelation, ctx: &mut EvalCtx<'_>) -> Vec<u32> {
+    let started = ctx.tracer.now();
     let mut perm: Vec<u32> = (0..r.len() as u32).collect();
     let descs = r.descs();
+    let pool = &ctx.pool;
+    let strings = &ctx.strings;
     let cmp = |&i: &u32, &j: &u32| {
         r.cmp_rows(i as usize, j as usize, strings)
             .then_with(|| pool.cmp_terms(descs[i as usize], descs[j as usize]))
     };
-    let workers = par.workers_for(perm.len());
+    let workers = ctx.par.workers_for(perm.len());
     if workers <= 1 {
         perm.sort_unstable_by(cmp);
     } else {
-        stats.note_stage(workers, workers);
+        ctx.par_stats.note_stage(workers, workers);
         par_sort_by(&mut perm, workers, cmp);
     }
+    ctx.tracer
+        .event("canonical-sort", started, perm.len() as u64);
     perm
 }
 

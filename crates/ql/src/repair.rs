@@ -123,8 +123,9 @@ impl ExtOperator for RepairKey {
         // sort exactly, so the parallel path preserves that numbering;
         // component minting stays sequential (in group order), keeping the
         // minted `ComponentId`s identical across thread counts.
-        let mut perm = sorted_row_ids(r, &ctx.pool, &ctx.strings, &ctx.par, &mut ctx.par_stats);
+        let mut perm = sorted_row_ids(r, ctx);
         perm.dedup_by(|&mut i, &mut j| r.rows_eq(i as usize, j as usize));
+        let key_sort_started = ctx.tracer.now();
         let strings = &ctx.strings;
         let by_key = |&i: &u32, &j: &u32| {
             key_idx
@@ -143,12 +144,16 @@ impl ExtOperator for RepairKey {
             ctx.par_stats.note_stage(workers, workers);
             maybms_core::parallel::par_sort_by(&mut perm, workers, by_key);
         }
+        ctx.tracer
+            .event("key-sort", key_sort_started, perm.len() as u64);
         let key_eq = |i: u32, j: u32| {
             key_idx
                 .iter()
                 .all(|&k| r.column(k).eq_cells(i as usize, r.column(k), j as usize))
         };
 
+        let mint_started = ctx.tracer.now();
+        let mut groups_minted = 0u64;
         let mut descs: Vec<DescId> = Vec::with_capacity(perm.len());
         let mut start = 0;
         while start < perm.len() {
@@ -182,11 +187,14 @@ impl ExtOperator for RepairKey {
             // weights from e.g. a key group exceeding the alternative limit.
             let component = Component::from_weights(&weights)?;
             let cid = ctx.components.add(component);
+            groups_minted += 1;
             for alt in 0..group.len() {
                 descs.push(ctx.pool.single(cid, alt as u16));
             }
             start = end;
         }
+        ctx.tracer
+            .event("mint-components", mint_started, groups_minted);
         // Output tuples are exactly the distinct input rows, gathered
         // column-wise in group order.
         Ok(r.gather_with_descs(&perm, descs))

@@ -239,10 +239,13 @@ pub enum Statement {
         span: Span,
     },
     /// `EXPLAIN query` — show the lowered and the optimized plan instead of
-    /// evaluating.
+    /// evaluating. With `ANALYZE`, the query *is* executed (with tracing
+    /// on) and the optimized plan is annotated with per-node observations.
     Explain {
         /// The query to explain.
         query: Query,
+        /// Whether `ANALYZE` followed `EXPLAIN`: execute and annotate.
+        analyze: bool,
         /// Span of the whole statement, from the `EXPLAIN` keyword on.
         span: Span,
     },

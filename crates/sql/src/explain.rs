@@ -1,11 +1,15 @@
-//! `EXPLAIN`: show a query's lowered and optimized plans side by side.
+//! `EXPLAIN`: show a query's lowered and optimized plans side by side —
+//! and `EXPLAIN ANALYZE`: execute with tracing on and annotate the
+//! optimized plan with per-node observations.
 //!
-//! The REPL's `EXPLAIN <query>` statement and the golden plan tests share
-//! this module, so what the tests pin is exactly what users see.
+//! The REPL's `EXPLAIN [ANALYZE] <query>` statements and the golden plan
+//! tests share this module, so what the tests pin is exactly what users
+//! see.
 
 use std::fmt;
 
-use maybms_algebra::Plan;
+use maybms_algebra::{run_traced, ExecStats, Plan};
+use maybms_core::{ParCfg, QueryTrace, WorldSet};
 
 use crate::ast::Query;
 use crate::catalog::Catalog;
@@ -42,5 +46,63 @@ impl fmt::Display for Explain {
         tree(f, &self.lowered)?;
         writeln!(f, "optimized plan:")?;
         tree(f, &self.optimized)
+    }
+}
+
+/// The result of `EXPLAIN ANALYZE`: the optimized plan, the trace of one
+/// traced execution of it, and the run's summary stats. The result
+/// *relation* is intentionally not part of the rendering (like SQL
+/// `EXPLAIN ANALYZE`, the statement reports how the query ran, not its
+/// rows) but the trace is kept whole, so callers can also export it with
+/// [`QueryTrace::to_json`].
+#[derive(Clone, Debug)]
+pub struct ExplainAnalyze {
+    /// The plan the executor ran (after optimization).
+    pub optimized: Plan,
+    /// Per-node spans of the traced run.
+    pub trace: QueryTrace,
+    /// The run's flat summary counters.
+    pub stats: ExecStats,
+}
+
+/// Compile `query`, execute it on `ws` with tracing enabled, and collect
+/// the annotated plan. Side effects are real: a `REPAIR KEY` inside the
+/// query mints components into `ws` exactly like a normal run — callers
+/// that must not disturb a session world set should pass a clone (the REPL
+/// does).
+pub fn explain_analyze(
+    catalog: &Catalog,
+    ws: &mut WorldSet,
+    query: &Query,
+    par: &ParCfg,
+) -> Result<ExplainAnalyze, SqlError> {
+    let (lowered, _) = lower(catalog, query)?;
+    let optimized = optimize_plan(catalog, &lowered, query.span())?;
+    let (_result, stats, trace) = run_traced(ws, &optimized, par)
+        .map_err(|e| SqlError::new(query.span(), format!("execution failed: {e}")))?;
+    Ok(ExplainAnalyze {
+        optimized,
+        trace,
+        stats,
+    })
+}
+
+/// The REPL rendering: the executed span tree (which mirrors the optimized
+/// plan tree, plus `·`-marked operator sub-phases), each node annotated
+/// with wall time, row counts, and the counters it incurred, followed by a
+/// one-line execution summary.
+impl fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "analyzed plan:")?;
+        for line in self.trace.render_tree().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(
+            f,
+            "execution: total={:.3}ms rows={} threads={}",
+            self.trace.total_nanos as f64 / 1e6,
+            self.stats.output_rows,
+            self.trace.threads
+        )
     }
 }

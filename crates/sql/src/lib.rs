@@ -59,7 +59,7 @@ pub mod unparse;
 
 pub use ast::{Query, Statement};
 pub use catalog::Catalog;
-pub use explain::{explain, Explain};
+pub use explain::{explain, explain_analyze, Explain, ExplainAnalyze};
 pub use parser::{parse_query, parse_script, parse_statement};
 pub use planner::{analyze, compile, compile_unoptimized, lower, optimize_plan};
 pub use span::{Span, SqlError};

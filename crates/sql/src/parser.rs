@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! script    := [ statement ] { ";" [ statement ] } ;
-//! statement := "LET" ident "=" query | "EXPLAIN" query | query ;
+//! statement := "LET" ident "=" query | "EXPLAIN" [ "ANALYZE" ] query | query ;
 //! query     := term { "UNION" term } ;
 //! term      := select | repair | "(" query ")" ;
 //! select    := "SELECT" [ quantifier ] sel_list
@@ -217,10 +217,16 @@ impl Parser {
             // Contextual: a query can only start with SELECT, REPAIR, or
             // `(`, never a bare identifier, so `EXPLAIN` here is
             // unambiguous and the word stays usable as a name elsewhere.
+            // The same argument covers the optional `ANALYZE` that follows.
             let start = self.advance().span;
+            let analyze = self.eat_kw("ANALYZE");
             let query = self.query()?;
             let span = start.join(query.span());
-            Ok(Statement::Explain { query, span })
+            Ok(Statement::Explain {
+                query,
+                analyze,
+                span,
+            })
         } else {
             Ok(Statement::Query(self.query()?))
         }
@@ -695,9 +701,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_explain_analyze_statements() {
+        let s = parse_statement("EXPLAIN ANALYZE SELECT a FROM r;").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        let s = parse_statement("explain analyze REPAIR KEY a IN r;").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: true, .. }));
+        // `analyze` is contextual too: without EXPLAIN it is an ordinary
+        // identifier, and `EXPLAIN SELECT analyze FROM r` still parses.
+        let q = parse_query("SELECT analyze FROM r").unwrap();
+        let Query::Select(sel) = q else {
+            panic!("expected a select")
+        };
+        let SelectList::Items(items) = sel.items else {
+            panic!("expected explicit items")
+        };
+        assert_eq!(items[0].column.name, "analyze");
+        let s = parse_statement("EXPLAIN SELECT analyze FROM r;").unwrap();
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
+    }
+
+    #[test]
     fn parses_explain_statements() {
         let s = parse_statement("EXPLAIN SELECT a FROM r;").unwrap();
-        assert!(matches!(s, Statement::Explain { .. }));
+        assert!(matches!(s, Statement::Explain { analyze: false, .. }));
         let s = parse_statement("explain REPAIR KEY a IN r;").unwrap();
         let Statement::Explain { query, .. } = s else {
             panic!("expected an explain")

@@ -1,0 +1,118 @@
+//! Golden test pinning the `EXPLAIN ANALYZE` rendering for the census
+//! join + `CONF` query — exactly what the REPL prints (both share
+//! [`maybms_sql::explain_analyze`]). Wall-clock values are masked to
+//! `<T>` (they are the one nondeterministic ingredient); every row
+//! count, morsel count, and confidence-solver counter is pinned exactly,
+//! so a change in operator traffic must update this expectation
+//! consciously.
+
+use maybms_core::{ParCfg, WorldSet};
+use maybms_sql::{compile, explain_analyze, parse_query, Catalog};
+
+/// The REPL's preloaded world with the repaired `census` relation
+/// materialized, mirroring `LET census = REPAIR KEY name IN censusform
+/// WEIGHT BY w;` on the demo world.
+fn census_world() -> WorldSet {
+    use maybms_core::{Relation, Schema, Tuple, URelation, Value, ValueType};
+    let schema = Schema::of(&[
+        ("name", ValueType::Str),
+        ("ssn", ValueType::Int),
+        ("w", ValueType::Int),
+    ])
+    .expect("distinct columns");
+    let readings = [
+        ("Smith", 185, 3),
+        ("Smith", 785, 1),
+        ("Brown", 185, 1),
+        ("Brown", 186, 1),
+    ];
+    let rel = Relation::from_rows(
+        schema,
+        readings
+            .iter()
+            .map(|&(n, s, w)| Tuple::new(vec![Value::str(n), s.into(), Value::Int(w)]))
+            .collect(),
+    )
+    .expect("rows match schema");
+    let mut ws = WorldSet::new();
+    ws.insert("censusform", URelation::from_certain(&rel))
+        .expect("certain relation is valid");
+    let homes_schema =
+        Schema::of(&[("ssn", ValueType::Int), ("city", ValueType::Str)]).expect("distinct columns");
+    let homes = [(185, "Armonk"), (785, "Putnam"), (186, "Armonk")];
+    let homes_rel = Relation::from_rows(
+        homes_schema,
+        homes
+            .iter()
+            .map(|&(s, c)| Tuple::new(vec![s.into(), Value::str(c)]))
+            .collect(),
+    )
+    .expect("rows match schema");
+    ws.insert("homes", URelation::from_certain(&homes_rel))
+        .expect("certain relation is valid");
+
+    let catalog = Catalog::from_world_set(&ws);
+    let repair =
+        compile(&catalog, "REPAIR KEY name IN censusform WEIGHT BY w").expect("repair compiles");
+    let census = maybms_algebra::run(&mut ws, &repair).expect("repair runs");
+    ws.insert("census", census)
+        .expect("repaired relation is valid");
+    ws
+}
+
+/// Replace every `time=…ms` / `total=…ms` wall-clock value with `<T>`,
+/// by hand (the build is offline; no regex crate). Everything else in
+/// the rendering is deterministic.
+fn mask_times(s: &str) -> String {
+    let mut out = String::new();
+    let mut rest = s;
+    loop {
+        let next = ["time=", "total="]
+            .iter()
+            .filter_map(|k| rest.find(k).map(|i| i + k.len()))
+            .min();
+        let Some(value_at) = next else {
+            out.push_str(rest);
+            return out;
+        };
+        out.push_str(&rest[..value_at]);
+        rest = &rest[value_at..];
+        let end = rest.find("ms").expect("wall-clock values end with `ms`");
+        out.push_str("<T>ms");
+        rest = &rest[end + 2..];
+    }
+}
+
+#[test]
+fn explain_analyze_renders_the_census_conf_join() {
+    let mut ws = census_world();
+    let catalog = Catalog::from_world_set(&ws);
+    let query = parse_query("SELECT CONF city FROM census, homes WHERE name = 'Smith'")
+        .expect("query parses");
+    let analyzed = explain_analyze(&catalog, &mut ws, &query, &ParCfg::with_threads(1))
+        .expect("query executes");
+    let expected = "\
+analyzed plan:
+  · scan-convert  (time=<T>ms items=7)
+  conf  (time=<T>ms rows=2 in=2 exact_groups=2)
+    project[city]  (time=<T>ms rows=2 in=2)
+      natural-join  (time=<T>ms rows=2 in=5 conjoins=2)
+        project[ssn]  (time=<T>ms rows=2 in=2)
+          select[name = 'Smith']  (time=<T>ms rows=2 in=4)
+            scan[census]  (time=<T>ms rows=4)
+        scan[homes]  (time=<T>ms rows=3)
+    · canonical-sort  (time=<T>ms items=2)
+    · solve  (time=<T>ms items=2)
+execution: total=<T>ms rows=2 threads=1
+";
+    assert_eq!(mask_times(&analyzed.to_string()), expected);
+}
+
+#[test]
+fn mask_times_touches_only_wall_clock_values() {
+    assert_eq!(
+        mask_times("a  (time=0.123ms rows=2)\nexecution: total=1.000ms rows=2 threads=1\n"),
+        "a  (time=<T>ms rows=2)\nexecution: total=<T>ms rows=2 threads=1\n"
+    );
+    assert_eq!(mask_times("no clocks here"), "no clocks here");
+}

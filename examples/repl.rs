@@ -18,49 +18,62 @@
 //! registers the result as a new relation — the way to share one repair's
 //! components across several later queries. `EXPLAIN <query>;` shows the
 //! lowered and the optimized plan instead of evaluating (queries themselves
-//! always run through the optimizer). Meta commands: `\d` lists the
-//! relations, `\stats` shows the last query's executor statistics
-//! (descriptor-pool occupancy and hit rates, string-dictionary size,
-//! elided dedups, parallelism and confidence-solver counters), `\timing`
-//! toggles per-statement wall-clock reporting, `\set threads N` changes
-//! the session's worker budget (initially `MAYBMS_THREADS` or the
+//! always run through the optimizer); `EXPLAIN ANALYZE <query>;` *executes*
+//! the query with tracing on (against a scratch copy of the session world
+//! set) and prints the optimized plan annotated per node with wall time,
+//! rows, morsel fan-out, pool traffic, and confidence-solver counters.
+//!
+//! Meta commands: `\d` lists the relations, `\stats` shows the last query's
+//! executor statistics (descriptor-pool occupancy and hit rates,
+//! string-dictionary size, elided dedups, parallelism and confidence-solver
+//! counters), `\timing` toggles per-statement wall-clock reporting,
+//! `\trace on|off` toggles span tracing for subsequent queries,
+//! `\trace last <file>` exports the last captured trace as Chrome
+//! trace-event JSON (open it in `chrome://tracing` or Perfetto),
+//! `\metrics` prints the process-wide metrics registry, `\set threads N`
+//! changes the session's worker budget (initially `MAYBMS_THREADS` or the
 //! machine's parallelism), `\set conf_exact_limit N` changes the cost
 //! cutover above which an approximate `CONF(eps, delta)` switches from
 //! exact per-group computation to sampling (initially
 //! `MAYBMS_CONF_EXACT_LIMIT` or 4096), `\q` quits, `\help` shows the
 //! cheat sheet.
 //!
-//! In `--batch` mode the file is parsed as a script (`--` comments, `;`
-//! separators), each statement is echoed and executed, and the first error
-//! stops the run with a non-zero exit — which is how CI smoke-tests the
-//! front-end against `examples/census.mayql`.
+//! In `--batch` mode the file is processed line by line exactly like an
+//! interactive session (`--` comments, `;` separators, `\`-meta commands —
+//! including `\timing` and `\trace` — all work), each statement is echoed
+//! and executed, and the first error stops the run with a non-zero exit —
+//! which is how CI smoke-tests the front-end against
+//! `examples/census.mayql` and the trace pipeline against
+//! `examples/trace.mayql`.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use maybms::algebra::{run_with_stats_opts, ExecStats};
-use maybms::core::{ParCfg, Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet};
+use maybms::algebra::{run_traced, run_with_stats_opts, ExecStats};
+use maybms::core::{
+    metrics, ParCfg, QueryTrace, Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet,
+};
 use maybms::ql::{conf_exact_limit_from_env, CONF_EXACT_LIMIT_ENV};
 use maybms::sql::lexer::{lex, TokenKind};
-use maybms::sql::{explain, parse_script, parse_statement, Catalog, Statement};
+use maybms::sql::{explain, explain_analyze, parse_statement, Catalog, Statement};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let mut ws = demo_world();
+    let mut session = Session::new(demo_world());
     match args.get(1).map(String::as_str) {
         Some("--batch") => {
             let Some(path) = args.get(2) else {
                 eprintln!("usage: repl [--batch <script.mayql>]");
                 return ExitCode::from(2);
             };
-            batch(&mut ws, path)
+            session.batch(path)
         }
         Some(other) => {
             eprintln!("unknown option `{other}`; usage: repl [--batch <script.mayql>]");
             ExitCode::from(2)
         }
-        None => interactive(&mut ws),
+        None => session.interactive(),
     }
 }
 
@@ -109,249 +122,418 @@ fn demo_world() -> WorldSet {
     ws
 }
 
-fn batch(ws: &mut WorldSet, path: &str) -> ExitCode {
-    let src = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("repl: cannot read {path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let statements = match parse_script(&src) {
-        Ok(s) => s,
-        Err(e) => {
-            eprint!("{}", e.render(&src));
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut last_stats = None;
-    let threads = ParCfg::from_env().threads;
-    for stmt in &statements {
-        let span = stmt.span();
-        println!("mayql> {};", &src[span.start..span.end]);
-        if let Err(msg) = execute(ws, stmt, &src, threads, &mut last_stats) {
-            eprint!("{msg}");
-            return ExitCode::FAILURE;
-        }
-    }
-    ExitCode::SUCCESS
+/// What a meta command asks the driving loop to do next.
+enum MetaOutcome {
+    Continue,
+    Quit,
 }
 
-fn interactive(ws: &mut WorldSet) -> ExitCode {
-    println!("MayQL — type queries ending with `;`, \\help for help, \\q to quit.");
-    println!(
-        "Preloaded: censusform(name, ssn, w), homes(ssn, city) — the paper's running example."
-    );
-    let stdin = std::io::stdin();
-    let mut buffer = String::new();
-    let mut last_stats: Option<ExecStats> = None;
-    let mut timing = false;
-    let mut threads = ParCfg::from_env().threads;
-    loop {
-        print!(
-            "{}",
-            if buffer.is_empty() {
-                "mayql> "
-            } else {
-                "   ... "
-            }
+/// One REPL session: the world set plus every knob and piece of
+/// last-query state the meta commands inspect. Interactive and batch mode
+/// drive the same session type, so `\timing`, `\trace`, `\stats`, … behave
+/// identically in both.
+struct Session {
+    ws: WorldSet,
+    threads: usize,
+    timing: bool,
+    trace: bool,
+    last_stats: Option<ExecStats>,
+    last_trace: Option<QueryTrace>,
+}
+
+impl Session {
+    fn new(ws: WorldSet) -> Session {
+        Session {
+            ws,
+            threads: ParCfg::from_env().threads,
+            timing: false,
+            trace: false,
+            last_stats: None,
+            last_trace: None,
+        }
+    }
+
+    fn interactive(&mut self) -> ExitCode {
+        println!("MayQL — type queries ending with `;`, \\help for help, \\q to quit.");
+        println!(
+            "Preloaded: censusform(name, ssn, w), homes(ssn, city) — the paper's running example."
         );
-        std::io::stdout().flush().expect("stdout is writable");
-        let mut line = String::new();
-        match stdin.lock().read_line(&mut line) {
-            Ok(0) => return ExitCode::SUCCESS, // EOF
-            Ok(_) => {}
+        let stdin = std::io::stdin();
+        let mut buffer = String::new();
+        loop {
+            print!(
+                "{}",
+                if buffer.is_empty() {
+                    "mayql> "
+                } else {
+                    "   ... "
+                }
+            );
+            std::io::stdout().flush().expect("stdout is writable");
+            let mut line = String::new();
+            match stdin.lock().read_line(&mut line) {
+                Ok(0) => return ExitCode::SUCCESS, // EOF
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("repl: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let trimmed = line.trim();
+            if buffer_blank(&buffer) && trimmed.starts_with('\\') {
+                buffer.clear();
+                if let MetaOutcome::Quit = self.meta(trimmed) {
+                    return ExitCode::SUCCESS;
+                }
+                continue;
+            }
+            buffer.push_str(&line);
+            if !statement_complete(&buffer, trimmed) {
+                continue;
+            }
+            let src = std::mem::take(&mut buffer);
+            if let Err(msg) = self.run_statement(&src) {
+                eprint!("{msg}");
+            }
+        }
+    }
+
+    /// Batch mode is the interactive loop without a prompt: the script is
+    /// processed line by line, so meta commands (`\timing`, `\trace`, …)
+    /// work exactly as they do at the keyboard. Each statement is echoed,
+    /// and the first error stops the run with a non-zero exit.
+    fn batch(&mut self, path: &str) -> ExitCode {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
             Err(e) => {
-                eprintln!("repl: {e}");
+                eprintln!("repl: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut buffer = String::new();
+        for line in src.lines() {
+            let trimmed = line.trim();
+            if buffer_blank(&buffer) && trimmed.starts_with('\\') {
+                buffer.clear();
+                println!("mayql> {trimmed}");
+                if let MetaOutcome::Quit = self.meta(trimmed) {
+                    return ExitCode::SUCCESS;
+                }
+                continue;
+            }
+            buffer.push_str(line);
+            buffer.push('\n');
+            if !statement_complete(&buffer, trimmed) {
+                continue;
+            }
+            let stmt_src = std::mem::take(&mut buffer);
+            println!("mayql> {};", statement_text(&stmt_src));
+            if let Err(msg) = self.run_statement(&stmt_src) {
+                eprint!("{msg}");
                 return ExitCode::FAILURE;
             }
         }
-        let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with('\\') {
-            match trimmed {
-                "\\q" | "\\quit" => return ExitCode::SUCCESS,
-                "\\d" => describe(ws),
-                "\\stats" => stats(&last_stats),
-                "\\timing" => {
-                    timing = !timing;
-                    println!("Timing is {}.", if timing { "on" } else { "off" });
-                }
-                "\\help" | "\\h" => help(),
-                cmd if cmd.starts_with("\\set") => {
-                    let mut parts = cmd.split_whitespace().skip(1);
-                    let knob = parts.next();
-                    let value = parts.next().and_then(|v| v.parse::<usize>().ok());
-                    match (knob, value) {
-                        (Some("threads"), Some(n)) if n >= 1 => {
-                            threads = n;
-                            println!("threads = {n}");
-                        }
-                        (Some("conf_exact_limit"), Some(n)) => {
-                            // Read back through the env so the session's
-                            // queries and the `\set` knob agree on one
-                            // source of truth.
-                            std::env::set_var(CONF_EXACT_LIMIT_ENV, n.to_string());
-                            println!("conf_exact_limit = {}", conf_exact_limit_from_env());
-                        }
-                        _ => println!(
-                            "usage: \\set threads <N>   (N >= 1)\n       \
-                             \\set conf_exact_limit <N>   (0 forces sampling)"
-                        ),
-                    }
-                }
-                other => println!("unknown command `{other}`; try \\help"),
-            }
-            continue;
+        if !buffer.trim().is_empty() {
+            eprintln!(
+                "repl: unterminated statement at end of {path}: {}",
+                statement_text(&buffer)
+            );
+            return ExitCode::FAILURE;
         }
-        buffer.push_str(&line);
-        // Statements run once a `;` *token* arrives: the buffer is lexed,
-        // so trailing `--` comments and `;` inside string literals or
-        // comments don't confuse the boundary. A buffer the lexer rejects
-        // (e.g. an unterminated string) is submitted once the raw line
-        // ends with `;`, letting the parser surface the diagnostic.
-        let complete = match lex(&buffer) {
-            Ok(tokens) => tokens.len() >= 2 && tokens[tokens.len() - 2].kind == TokenKind::Semi,
-            Err(_) => trimmed.ends_with(';'),
-        };
-        if !complete {
-            continue;
-        }
-        let src = std::mem::take(&mut buffer);
-        match parse_statement(&src) {
-            Err(e) => eprint!("{}", e.render(&src)),
+        ExitCode::SUCCESS
+    }
+
+    /// Parse and execute one complete statement, honoring `\timing`.
+    fn run_statement(&mut self, src: &str) -> Result<(), String> {
+        match parse_statement(src) {
+            Err(e) => Err(e.render(src)),
             Ok(stmt) => {
                 let start = Instant::now();
-                let outcome = execute(ws, &stmt, &src, threads, &mut last_stats);
-                let elapsed = start.elapsed();
-                if let Err(msg) = outcome {
-                    eprint!("{msg}");
+                let outcome = self.execute(&stmt, src);
+                if self.timing {
+                    println!("Time: {:.3} ms", start.elapsed().as_secs_f64() * 1e3);
                 }
-                if timing {
-                    println!("Time: {:.3} ms", elapsed.as_secs_f64() * 1e3);
-                }
+                outcome
             }
         }
     }
-}
 
-/// Compile and run one statement, printing its result. A `LET` registers
-/// the result as a relation instead, so its components are shared by every
-/// later query that scans it; an `EXPLAIN` prints the lowered and the
-/// optimized plan without evaluating. Queries run through the logical
-/// optimizer by default. `src` is the statement's source text (for the
-/// batch mode, the whole script — spans index into it either way), so
-/// semantic errors render with the same caret diagnostics as parse errors.
-/// Runtime errors carry no span and print as a plain message. Each run's
-/// executor statistics are kept in `last_stats` for the `\stats` command;
-/// `threads` is the session's worker budget (`\set threads N`).
-fn execute(
-    ws: &mut WorldSet,
-    stmt: &Statement,
-    src: &str,
-    threads: usize,
-    last_stats: &mut Option<ExecStats>,
-) -> Result<(), String> {
-    let catalog = Catalog::from_world_set(ws);
-    let par = ParCfg::with_threads(threads);
-    let compile = |query: &maybms::sql::Query| -> Result<maybms::algebra::Plan, String> {
-        let (plan, _) = maybms::sql::lower(&catalog, query).map_err(|e| e.render(src))?;
-        maybms::sql::optimize_plan(&catalog, &plan, query.span()).map_err(|e| e.render(src))
-    };
-    match stmt {
-        Statement::Query(query) => {
-            let plan = compile(query)?;
-            let (result, stats) =
-                run_with_stats_opts(ws, &plan, &par).map_err(|e| format!("error: {e}\n"))?;
-            *last_stats = Some(stats);
-            print!("{result}");
-            println!("({} rows)", result.len());
-            Ok(())
-        }
-        Statement::Let { name, query, .. } => {
-            let plan = compile(query)?;
-            let (result, stats) =
-                run_with_stats_opts(ws, &plan, &par).map_err(|e| format!("error: {e}\n"))?;
-            *last_stats = Some(stats);
-            let rows = result.len();
-            ws.insert(name.name.clone(), result)
-                .map_err(|e| format!("error: {e}\n"))?;
-            println!("relation `{}` materialized ({rows} rows)", name.name);
-            Ok(())
-        }
-        Statement::Explain { query, .. } => {
-            let ex = explain(&catalog, query).map_err(|e| e.render(src))?;
-            print!("{ex}");
-            Ok(())
+    /// Compile and run one statement, printing its result. A `LET`
+    /// registers the result as a relation instead, so its components are
+    /// shared by every later query that scans it; an `EXPLAIN` prints the
+    /// lowered and the optimized plan without evaluating, and `EXPLAIN
+    /// ANALYZE` executes against a scratch copy of the world set (so its
+    /// repairs don't mint session components) and prints the annotated
+    /// plan. Queries run through the logical optimizer by default. `src` is
+    /// the statement's source text, so semantic errors render with the same
+    /// caret diagnostics as parse errors; runtime errors carry no span and
+    /// print as a plain message.
+    fn execute(&mut self, stmt: &Statement, src: &str) -> Result<(), String> {
+        let catalog = Catalog::from_world_set(&self.ws);
+        let par = ParCfg::with_threads(self.threads);
+        let compile = |query: &maybms::sql::Query| -> Result<maybms::algebra::Plan, String> {
+            let (plan, _) = maybms::sql::lower(&catalog, query).map_err(|e| e.render(src))?;
+            maybms::sql::optimize_plan(&catalog, &plan, query.span()).map_err(|e| e.render(src))
+        };
+        match stmt {
+            Statement::Query(query) => {
+                let plan = compile(query)?;
+                let result = self.run_plan(&plan, &par)?;
+                print!("{result}");
+                println!("({} rows)", result.len());
+                Ok(())
+            }
+            Statement::Let { name, query, .. } => {
+                let plan = compile(query)?;
+                let result = self.run_plan(&plan, &par)?;
+                let rows = result.len();
+                self.ws
+                    .insert(name.name.clone(), result)
+                    .map_err(|e| format!("error: {e}\n"))?;
+                println!("relation `{}` materialized ({rows} rows)", name.name);
+                Ok(())
+            }
+            Statement::Explain {
+                query,
+                analyze: false,
+                ..
+            } => {
+                let ex = explain(&catalog, query).map_err(|e| e.render(src))?;
+                print!("{ex}");
+                Ok(())
+            }
+            Statement::Explain {
+                query,
+                analyze: true,
+                ..
+            } => {
+                // Scratch copy: the analyzed run's side effects (repair-key
+                // components, materialized pools) must not leak into the
+                // session world set.
+                let mut scratch = self.ws.clone();
+                let ex = explain_analyze(&catalog, &mut scratch, query, &par)
+                    .map_err(|e| e.render(src))?;
+                print!("{ex}");
+                self.last_stats = Some(ex.stats);
+                self.last_trace = Some(ex.trace);
+                Ok(())
+            }
         }
     }
-}
 
-/// Print the last query's executor statistics (the `\stats` meta-command):
-/// descriptor-pool occupancy with intern/conjoin hit rates, and the string
-/// dictionary size — the observability window into the columnar execution
-/// core.
-fn stats(last: &Option<ExecStats>) {
-    let Some(s) = last else {
-        println!("no query has run yet in this session");
-        return;
-    };
-    let p = s.pool;
-    println!("last query:");
-    println!(
-        "  descriptor pool: {} distinct ({} spilled past inline capacity)",
-        s.descriptors, s.descriptors_spilled
-    );
-    println!(
-        "  interning:       {} hits / {} calls ({:.1}% shared)",
-        p.intern_hits,
-        p.intern_calls,
-        if p.intern_calls == 0 {
-            0.0
+    /// Run a compiled plan, traced or not per the session's `\trace` flag,
+    /// updating the last-query state either way.
+    fn run_plan(
+        &mut self,
+        plan: &maybms::algebra::Plan,
+        par: &ParCfg,
+    ) -> Result<URelation, String> {
+        if self.trace {
+            let (result, stats, trace) =
+                run_traced(&mut self.ws, plan, par).map_err(|e| format!("error: {e}\n"))?;
+            println!(
+                "trace: {} spans captured (\\trace last <file> to export)",
+                trace.spans.len()
+            );
+            self.last_stats = Some(stats);
+            self.last_trace = Some(trace);
+            Ok(result)
         } else {
-            p.intern_hits as f64 / p.intern_calls as f64 * 100.0
+            let (result, stats) = run_with_stats_opts(&mut self.ws, plan, par)
+                .map_err(|e| format!("error: {e}\n"))?;
+            self.last_stats = Some(stats);
+            Ok(result)
         }
-    );
-    println!(
-        "  conjunctions:    {} calls ({} shortcut, {} inconsistent)",
-        p.conjoin_calls, p.conjoin_shortcuts, p.conjoin_inconsistent
-    );
-    println!("  string dict:     {} distinct strings", s.strings);
-    println!(
-        "  dedups elided:   {} (proven redundant by plan properties)",
-        s.dedups_elided
-    );
-    println!(
-        "  parallelism:     {} workers used of {} budgeted, {} morsels",
-        s.par.workers_used.max(1),
-        s.threads,
-        s.par.morsels
-    );
-    println!(
-        "  shard merges:    {} entries re-interned in {:.3} ms",
-        s.par.shard_entries,
-        s.par.merge_nanos as f64 / 1e6
-    );
-    let c = s.conf;
-    if c.exact_groups + c.sampled_groups > 0 {
-        println!(
-            "  confidence:      {} groups exact, {} sampled, {} samples drawn (largest group {} descriptors)",
-            c.exact_groups, c.sampled_groups, c.samples_drawn, c.largest_group
-        );
     }
-    println!("  output:          {} rows", s.output_rows);
+
+    /// Handle one `\`-meta command (shared by interactive and batch mode).
+    fn meta(&mut self, cmd: &str) -> MetaOutcome {
+        match cmd {
+            "\\q" | "\\quit" => return MetaOutcome::Quit,
+            "\\d" => self.describe(),
+            "\\stats" => self.stats(),
+            "\\metrics" => print!("{}", metrics().render()),
+            "\\timing" => {
+                self.timing = !self.timing;
+                println!("Timing is {}.", if self.timing { "on" } else { "off" });
+            }
+            "\\help" | "\\h" => help(),
+            cmd if cmd.starts_with("\\trace") => self.trace_cmd(cmd),
+            cmd if cmd.starts_with("\\set") => self.set_cmd(cmd),
+            other => println!("unknown command `{other}`; try \\help"),
+        }
+        MetaOutcome::Continue
+    }
+
+    /// `\trace on|off` toggles span tracing for subsequent queries;
+    /// `\trace last <file>` writes the last captured trace (from a traced
+    /// query or an `EXPLAIN ANALYZE`) as Chrome trace-event JSON.
+    fn trace_cmd(&mut self, cmd: &str) {
+        let mut parts = cmd.split_whitespace().skip(1);
+        match (parts.next(), parts.next()) {
+            (Some("on"), None) => {
+                self.trace = true;
+                println!("Tracing is on.");
+            }
+            (Some("off"), None) => {
+                self.trace = false;
+                println!("Tracing is off.");
+            }
+            (Some("last"), Some(file)) => match &self.last_trace {
+                None => println!(
+                    "no trace captured yet; run a query with \\trace on or EXPLAIN ANALYZE"
+                ),
+                Some(trace) => match std::fs::write(file, trace.to_json()) {
+                    Ok(()) => println!(
+                        "trace written to {file} ({} spans; open in chrome://tracing or Perfetto)",
+                        trace.spans.len()
+                    ),
+                    Err(e) => println!("cannot write {file}: {e}"),
+                },
+            },
+            (None, None) => println!(
+                "Tracing is {}; {} trace captured.",
+                if self.trace { "on" } else { "off" },
+                if self.last_trace.is_some() { "a" } else { "no" }
+            ),
+            _ => println!("usage: \\trace on|off  or  \\trace last <file>"),
+        }
+    }
+
+    fn set_cmd(&mut self, cmd: &str) {
+        let mut parts = cmd.split_whitespace().skip(1);
+        let knob = parts.next();
+        let value = parts.next().and_then(|v| v.parse::<usize>().ok());
+        match (knob, value) {
+            (Some("threads"), Some(n)) if n >= 1 => {
+                self.threads = n;
+                println!("threads = {n}");
+            }
+            (Some("conf_exact_limit"), Some(n)) => {
+                // Read back through the env so the session's queries and
+                // the `\set` knob agree on one source of truth.
+                std::env::set_var(CONF_EXACT_LIMIT_ENV, n.to_string());
+                println!("conf_exact_limit = {}", conf_exact_limit_from_env());
+            }
+            _ => println!(
+                "usage: \\set threads <N>   (N >= 1)\n       \
+                 \\set conf_exact_limit <N>   (0 forces sampling)"
+            ),
+        }
+    }
+
+    /// Print the last query's executor statistics (the `\stats`
+    /// meta-command): descriptor-pool occupancy with intern/conjoin hit
+    /// rates, and the string dictionary size — the observability window
+    /// into the columnar execution core. Before any query has run, the
+    /// session's knobs are still reported so the state stays inspectable.
+    fn stats(&self) {
+        let Some(s) = &self.last_stats else {
+            println!("no query executed yet");
+            println!(
+                "session settings: threads = {}, conf_exact_limit = {}",
+                self.threads,
+                conf_exact_limit_from_env()
+            );
+            return;
+        };
+        let p = s.pool;
+        println!("last query:");
+        println!("  wall time:       {:.3} ms", s.wall_nanos as f64 / 1e6);
+        println!(
+            "  descriptor pool: {} distinct ({} spilled past inline capacity)",
+            s.descriptors, s.descriptors_spilled
+        );
+        println!(
+            "  interning:       {} hits / {} calls ({:.1}% shared)",
+            p.intern_hits,
+            p.intern_calls,
+            if p.intern_calls == 0 {
+                0.0
+            } else {
+                p.intern_hits as f64 / p.intern_calls as f64 * 100.0
+            }
+        );
+        println!(
+            "  conjunctions:    {} calls ({} shortcut, {} inconsistent)",
+            p.conjoin_calls, p.conjoin_shortcuts, p.conjoin_inconsistent
+        );
+        println!("  string dict:     {} distinct strings", s.strings);
+        println!(
+            "  dedups elided:   {} (proven redundant by plan properties)",
+            s.dedups_elided
+        );
+        println!(
+            "  parallelism:     {} workers used of {} budgeted, {} morsels",
+            s.par.workers_used.max(1),
+            s.threads,
+            s.par.morsels
+        );
+        println!(
+            "  shard merges:    {} entries re-interned in {:.3} ms",
+            s.par.shard_entries,
+            s.par.merge_nanos as f64 / 1e6
+        );
+        let c = s.conf;
+        if c.exact_groups + c.sampled_groups > 0 {
+            println!(
+                "  confidence:      {} groups exact, {} sampled, {} samples drawn (largest group {} descriptors)",
+                c.exact_groups, c.sampled_groups, c.samples_drawn, c.largest_group
+            );
+        }
+        println!("  output:          {} rows", s.output_rows);
+    }
+
+    fn describe(&self) {
+        for (name, rel) in &self.ws.relations {
+            let cols: Vec<String> = rel
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| format!("{} {}", c.name, c.ty))
+                .collect();
+            println!("{name}({}) — {} rows", cols.join(", "), rel.len());
+        }
+        println!("components in the world set: {}", self.ws.components.len());
+    }
 }
 
-fn describe(ws: &WorldSet) {
-    for (name, rel) in &ws.relations {
-        let cols: Vec<String> = rel
-            .schema()
-            .columns()
-            .iter()
-            .map(|c| format!("{} {}", c.name, c.ty))
-            .collect();
-        println!("{name}({}) — {} rows", cols.join(", "), rel.len());
+/// Whether the buffer holds no statement text yet — empty, whitespace, or
+/// `--` comments only (the lexer skips comments, leaving just its EOF
+/// token). A meta command arriving on a blank buffer runs immediately.
+fn buffer_blank(buffer: &str) -> bool {
+    match lex(buffer) {
+        Ok(tokens) => tokens.len() <= 1,
+        Err(_) => false,
     }
-    println!("components in the world set: {}", ws.components.len());
+}
+
+/// Whether the buffered text forms a complete statement. Statements run
+/// once a `;` *token* arrives: the buffer is lexed, so trailing `--`
+/// comments and `;` inside string literals or comments don't confuse the
+/// boundary. A buffer the lexer rejects (e.g. an unterminated string) is
+/// submitted once the raw line ends with `;`, letting the parser surface
+/// the diagnostic.
+fn statement_complete(buffer: &str, last_line: &str) -> bool {
+    match lex(buffer) {
+        Ok(tokens) => tokens.len() >= 2 && tokens[tokens.len() - 2].kind == TokenKind::Semi,
+        Err(_) => last_line.trim().ends_with(';'),
+    }
+}
+
+/// A statement's source collapsed to one echo line: comments dropped,
+/// whitespace normalized, trailing `;` removed.
+fn statement_text(src: &str) -> String {
+    let without_comments: Vec<&str> = src
+        .lines()
+        .map(|l| l.find("--").map_or(l, |i| &l[..i]).trim())
+        .filter(|l| !l.is_empty())
+        .collect();
+    without_comments
+        .join(" ")
+        .trim_end_matches(';')
+        .trim()
+        .to_string()
 }
 
 fn help() {
@@ -359,15 +541,19 @@ fn help() {
         "statements (end with `;`):\n  \
          SELECT [POSSIBLE|CERTAIN|CONF[(eps, delta)]] cols|* FROM items [WHERE pred] [UNION ...];\n  \
          REPAIR KEY cols IN rel [WEIGHT BY col];\n  \
-         LET name = <query>;   -- materialize a result as a relation\n  \
-         EXPLAIN <query>;      -- show the lowered and optimized plans\n\
+         LET name = <query>;        -- materialize a result as a relation\n  \
+         EXPLAIN <query>;           -- show the lowered and optimized plans\n  \
+         EXPLAIN ANALYZE <query>;   -- execute with tracing, annotate the plan per node\n\
          meta commands:\n  \
-         \\d      list relations and schemas\n  \
-         \\stats  executor statistics of the last query\n  \
-         \\timing toggle wall-clock reporting per statement\n  \
+         \\d       list relations and schemas\n  \
+         \\stats   executor statistics of the last query\n  \
+         \\metrics the process-wide metrics registry (counters, histograms)\n  \
+         \\timing  toggle wall-clock reporting per statement\n  \
+         \\trace on|off      trace subsequent queries\n  \
+         \\trace last <file> export the last trace as Chrome trace JSON\n  \
          \\set threads <N>  worker-thread budget for query execution\n  \
          \\set conf_exact_limit <N>  cost cutover for CONF(eps, delta); 0 forces sampling\n  \
-         \\help   this help\n  \
-         \\q      quit"
+         \\help    this help\n  \
+         \\q       quit"
     );
 }
