@@ -52,6 +52,17 @@ pub struct ExtProps {
     /// is the identity (up to row order) and can be elided: `possible` and
     /// `certain` of a certain set are that set.
     pub identity_on_certain: bool,
+    /// The operator distributes over union *as a set*:
+    /// `op(A ∪ B) ≡ op(A) ∪ op(B)` (the executor's union output is
+    /// duplicate-free, so set equality is what plan equivalence means
+    /// here). True for `possible` — a tuple is possible in a union iff it
+    /// is possible in some side; **false for `certain`** (a tuple can be
+    /// certain in `A ∪ B` with neither side covering all worlds alone),
+    /// for `conf` (probabilities of the sides do not combine by union),
+    /// and for `repair-key` (grouping is global). Consulted only by the
+    /// cost-based phase: distributing is a pure locality/size trade, so it
+    /// fires only where the estimates say the split is cheaper.
+    pub distributes_over_union: bool,
 }
 
 /// An operator plugged into the plan IR from a higher layer.
@@ -115,6 +126,35 @@ pub trait ExtOperator: fmt::Debug + Send + Sync {
     /// [`inputs`]: ExtOperator::inputs
     fn with_inputs(&self, inputs: Vec<Plan>) -> Option<Plan> {
         let _ = inputs;
+        None
+    }
+
+    /// Plan-time cardinality hint for the cost-based phase: estimated output
+    /// rows given the estimated input rows, the estimated number of distinct
+    /// input tuples, and the estimated fraction of rows with non-trivial
+    /// descriptors. The default follows [`ExtProps::distinct_output`]
+    /// (world-collapsing operators emit one row per distinct tuple);
+    /// operators with tighter bounds override — `certain` keeps only tuples
+    /// whose descriptors cover all worlds, `repair-key` is row-preserving.
+    fn estimate_rows(&self, input_rows: f64, input_distinct: f64, nontrivial_frac: f64) -> f64 {
+        let _ = nontrivial_frac;
+        if self.props().distinct_output {
+            input_distinct
+        } else {
+            input_rows
+        }
+    }
+
+    /// Plan-time self-tuning hook, called once per node by the cost-based
+    /// phase with the node's estimated input rows and descriptor density.
+    /// An operator may return a replacement for itself (over the *same*
+    /// inputs) with runtime knobs pinned — e.g. `conf(eps, delta)` freezes
+    /// its exact/sampling cutover into the plan so execution no longer
+    /// consults the environment. Implementations must be idempotent
+    /// (returning `None` once the knob is pinned) and semantics-preserving
+    /// under an unchanged environment; `None` (the default) keeps the node.
+    fn plan_time_tuned(&self, est_input_rows: f64, est_nontrivial_frac: f64) -> Option<Plan> {
+        let _ = (est_input_rows, est_nontrivial_frac);
         None
     }
 

@@ -31,12 +31,18 @@
 //! operators, prunes projections down to the columns consumers need, and
 //! elides operators that derived plan properties (schema, distinctness,
 //! descriptor-triviality) prove redundant. Extension operators opt into
-//! rewrites by declaring [`ext::ExtProps`].
+//! rewrites by declaring [`ext::ExtProps`]. On top of the rule fixpoint,
+//! [`optimize::optimize_with_stats`] runs a **cost-based phase** that
+//! reorders join trees (dynamic programming over subsets), distributes
+//! quantifiers over unions, and pins operator runtime knobs, driven by the
+//! catalog statistics a [`cost::StatsProvider`] serves to the cardinality
+//! estimator in [`cost`].
 //!
 //! [`naive`] evaluates the same plans with the textbook single-world
 //! algebra, which is what the differential tests run inside each enumerated
 //! world.
 
+pub mod cost;
 pub mod eval;
 pub mod ext;
 pub mod naive;
@@ -44,11 +50,12 @@ pub mod optimize;
 pub mod plan;
 pub mod predicate;
 
+pub use cost::{estimate_preorder, plan_cost, CardEst, StatsProvider};
 pub use eval::{
     infer_schema, run, run_traced, run_with_opts, run_with_stats, run_with_stats_opts, EvalCtx,
     ExecStats,
 };
 pub use ext::{ExtOperator, ExtProps};
-pub use optimize::{optimize, PlanProps, SchemaProvider};
+pub use optimize::{optimize, optimize_with_stats, PlanProps, SchemaProvider};
 pub use plan::Plan;
 pub use predicate::{col, lit, CmpOp, Operand, Predicate};

@@ -57,6 +57,7 @@ use std::sync::Arc;
 
 use maybms_core::{FxHashMap, MayError, Schema, URelation};
 
+use crate::cost::StatsProvider;
 use crate::ext::ExtOperator;
 use crate::plan::Plan;
 use crate::predicate::Predicate;
@@ -640,6 +641,412 @@ impl<'a> Pass<'a> {
     }
 }
 
+/// A cost-based rewrite must beat the current shape's estimated cost by at
+/// least this factor to fire. The strict margin is what makes
+/// [`optimize_with_stats`] converge: every accepted rewrite decreases the
+/// estimated cost by ≥5%, so the rules↔cost loop cannot oscillate between
+/// estimate-equivalent shapes, and a plan the cost phase already chose
+/// re-estimates as optimal and is left alone.
+const COST_IMPROVEMENT: f64 = 0.95;
+
+/// Dynamic programming over join subsets is exact up to this many leaves
+/// (3ⁿ ≈ 6.5k subproblems at 8); larger join trees fall back to a greedy
+/// cheapest-pair heuristic.
+const DP_MAX_LEAVES: usize = 8;
+
+/// Optimize a plan with the rule fixpoint *and* the statistics-driven
+/// cost-based phase: join-tree reordering (exact DP up to
+/// `DP_MAX_LEAVES` (8) relations, greedy beyond), distribution of
+/// union-distributing quantifiers ([`ExtProps::distributes_over_union`])
+/// over unions, and per-operator plan-time tuning
+/// ([`ExtOperator::plan_time_tuned`]).
+///
+/// The two phases interleave to a fixpoint: cost rewrites (e.g. the
+/// schema-restoring projection a reorder inserts) re-feed the rules, whose
+/// output re-feeds the cost phase, until a whole round changes nothing.
+/// That exit condition makes the function **idempotent** — running it on
+/// its own output returns the output unchanged — which the differential
+/// suite asserts. With a stats-less provider this is exactly [`optimize`].
+///
+/// Like the rule phase, every rewrite is meaning-preserving: the result
+/// evaluates to the same u-relation as the input (up to row order) on every
+/// world set matching the provider's schemas, whatever the statistics say —
+/// estimates only ever pick among equivalent shapes.
+///
+/// [`ExtProps::distributes_over_union`]: crate::ext::ExtProps::distributes_over_union
+/// [`ExtOperator::plan_time_tuned`]: crate::ext::ExtOperator::plan_time_tuned
+pub fn optimize_with_stats(
+    plan: &Plan,
+    schemas: &dyn SchemaProvider,
+    stats: &dyn StatsProvider,
+) -> Result<Plan, MayError> {
+    let mut p = optimize(plan, schemas)?;
+    if !stats.has_stats() {
+        return Ok(p);
+    }
+    let mut prev = p.to_string();
+    for _ in 0..MAX_PASSES {
+        let mut pass = CostPass {
+            schemas,
+            stats,
+            rewrites: 0,
+            memo: FxHashMap::default(),
+        };
+        let c = pass.rewrite(p.clone())?;
+        if pass.rewrites == 0 {
+            return Ok(p);
+        }
+        let r = optimize(&c, schemas)?;
+        let cur = r.to_string();
+        p = r;
+        if cur == prev {
+            return Ok(p);
+        }
+        prev = cur;
+    }
+    Ok(p)
+}
+
+/// The shape of a join tree over flattened leaves, kept so the current
+/// plan's cost can be estimated with the same per-subset formula the DP
+/// uses (otherwise the comparison would be apples to oranges).
+enum JoinShape {
+    /// A non-join leaf, by index into the flattened leaf list.
+    Leaf(usize),
+    /// An inner join node.
+    Node(Box<JoinShape>, Box<JoinShape>),
+}
+
+/// Tear a maximal join tree into its non-join leaves (left to right),
+/// returning the original shape over leaf indices.
+fn flatten_join(plan: Plan, leaves: &mut Vec<Plan>) -> JoinShape {
+    match plan {
+        Plan::NaturalJoin { left, right } => {
+            let l = flatten_join(*left, leaves);
+            let r = flatten_join(*right, leaves);
+            JoinShape::Node(Box::new(l), Box::new(r))
+        }
+        other => {
+            leaves.push(other);
+            JoinShape::Leaf(leaves.len() - 1)
+        }
+    }
+}
+
+/// One cost-based sweep (bottom-up). Separate from [`Pass`] because its
+/// rewrites are chosen by estimate comparison, not proved-sound rule
+/// matching — the soundness argument here is that every candidate is an
+/// algebraic equivalence (join trees over the same leaf set, quantifier
+/// distribution declared by the operator) and the estimates only *select*.
+struct CostPass<'a> {
+    schemas: &'a dyn SchemaProvider,
+    stats: &'a dyn StatsProvider,
+    /// Cost-based rewrites fired this sweep (drives the outer fixpoint).
+    rewrites: usize,
+    /// Rewrites of extension nodes by `Arc` identity, so shared subtrees
+    /// stay shared (see the module docs' sharing discipline).
+    memo: FxHashMap<usize, Plan>,
+}
+
+impl<'a> CostPass<'a> {
+    fn est(&self, plan: &Plan) -> (crate::cost::CardEst, f64) {
+        crate::cost::plan_cost(plan, self.schemas, self.stats)
+    }
+
+    fn rewrite(&mut self, plan: Plan) -> Result<Plan, MayError> {
+        match plan {
+            Plan::Scan(_) => Ok(plan),
+            Plan::Select {
+                mut input,
+                predicate,
+            } => {
+                *input = self.rewrite(*input)?;
+                Ok(Plan::Select { input, predicate })
+            }
+            Plan::Project { mut input, columns } => {
+                *input = self.rewrite(*input)?;
+                Ok(Plan::Project { input, columns })
+            }
+            Plan::Rename { mut input, renames } => {
+                *input = self.rewrite(*input)?;
+                Ok(Plan::Rename { input, renames })
+            }
+            Plan::Union {
+                mut left,
+                mut right,
+            } => {
+                *left = self.rewrite(*left)?;
+                *right = self.rewrite(*right)?;
+                Ok(Plan::Union { left, right })
+            }
+            Plan::NaturalJoin { .. } => self.reorder_join(plan),
+            Plan::Ext(op) => self.rewrite_ext(op),
+        }
+    }
+
+    /// Reorder a maximal join tree. The candidate search scores every shape
+    /// with the *set-canonical* estimate ([`crate::cost::join_set_est`]) —
+    /// the same leaf subset always estimates the same cardinality, whatever
+    /// the order — so the DP's principle of optimality holds, and a shape
+    /// the search already chose re-scores as optimal on later sweeps
+    /// (stability). A rewrite fires only when the best shape beats the
+    /// current one by the [`COST_IMPROVEMENT`] margin; the original output
+    /// column order is restored with a projection when the new shape's
+    /// schema permutes it (sound: join output is duplicate-free, and a
+    /// full-width projection of a duplicate-free input drops nothing).
+    fn reorder_join(&mut self, plan: Plan) -> Result<Plan, MayError> {
+        let orig_names: Vec<String> = plan
+            .schema_with(self.schemas)?
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut leaves = Vec::new();
+        let shape = flatten_join(plan, &mut leaves);
+        let leaves = leaves
+            .into_iter()
+            .map(|l| self.rewrite(l))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ests: Vec<crate::cost::CardEst> = leaves.iter().map(|l| self.est(l).0).collect();
+        let n = leaves.len();
+
+        // Cardinality of every leaf subset, via the order-invariant
+        // formula; index = bitmask over leaves (n ≤ DP_MAX_LEAVES), or
+        // computed on demand for the greedy path.
+        let set_rows = |mask: usize| -> f64 {
+            let subset: Vec<&crate::cost::CardEst> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| &ests[i])
+                .collect();
+            crate::cost::join_set_est(&subset).rows
+        };
+
+        // Join-step cost of the current shape under the same estimates
+        // (leaf subtree costs are common to every shape and cancel).
+        fn shape_cost(shape: &JoinShape, set_rows: &dyn Fn(usize) -> f64) -> (usize, f64) {
+            match shape {
+                JoinShape::Leaf(i) => (1 << i, 0.0),
+                JoinShape::Node(l, r) => {
+                    let (ml, cl) = shape_cost(l, set_rows);
+                    let (mr, cr) = shape_cost(r, set_rows);
+                    let mask = ml | mr;
+                    let step =
+                        crate::cost::join_step_cost(set_rows(ml), set_rows(mr), set_rows(mask));
+                    (mask, cl + cr + step)
+                }
+            }
+        }
+        let (full_mask, current_cost) = shape_cost(&shape, &set_rows);
+
+        let (best_cost, best_plan) = if n <= DP_MAX_LEAVES {
+            self.dp_best(&leaves, &set_rows, full_mask)
+        } else {
+            self.greedy_best(&leaves, &ests)
+        };
+
+        fn rebuild_shape(shape: &JoinShape, leaves: &[Plan]) -> Plan {
+            match shape {
+                JoinShape::Leaf(i) => leaves[*i].clone(),
+                JoinShape::Node(l, r) => rebuild_shape(l, leaves).join(rebuild_shape(r, leaves)),
+            }
+        }
+
+        if best_cost < current_cost * COST_IMPROVEMENT {
+            let best_names: Vec<String> = best_plan
+                .schema_with(self.schemas)?
+                .names()
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            self.rewrites += 1;
+            if best_names == orig_names {
+                Ok(best_plan)
+            } else {
+                Ok(best_plan.project(orig_names))
+            }
+        } else {
+            Ok(rebuild_shape(&shape, &leaves))
+        }
+    }
+
+    /// Exact bushy DP over leaf subsets: `best[mask]` is the cheapest join
+    /// tree over that subset; every split into two non-empty halves is
+    /// tried in both orientations (the cost model is asymmetric — the right
+    /// side is the hash build side).
+    fn dp_best(
+        &self,
+        leaves: &[Plan],
+        set_rows: &dyn Fn(usize) -> f64,
+        full_mask: usize,
+    ) -> (f64, Plan) {
+        let n = leaves.len();
+        let mut best: Vec<Option<(f64, Plan)>> = vec![None; 1 << n];
+        for (i, leaf) in leaves.iter().enumerate() {
+            best[1 << i] = Some((0.0, leaf.clone()));
+        }
+        for mask in 1usize..(1 << n) {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let rows_out = set_rows(mask);
+            let mut acc: Option<(f64, Plan)> = None;
+            // Enumerate ordered splits (sub = left/probe, rest = right/
+            // build); `(sub - 1) & mask` walks every proper submask.
+            let mut sub = (mask - 1) & mask;
+            while sub != 0 {
+                let rest = mask ^ sub;
+                if let (Some((cl, pl)), Some((cr, pr))) = (&best[sub], &best[rest]) {
+                    let step = crate::cost::join_step_cost(set_rows(sub), set_rows(rest), rows_out);
+                    let cost = cl + cr + step;
+                    if acc.as_ref().map_or(true, |(c, _)| cost < *c) {
+                        acc = Some((cost, pl.clone().join(pr.clone())));
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+            best[mask] = acc;
+        }
+        best[full_mask]
+            .clone()
+            .expect("every leaf subset has a join tree")
+    }
+
+    /// Greedy fallback beyond [`DP_MAX_LEAVES`]: repeatedly merge the pair
+    /// of partial trees with the cheapest join step (both orientations).
+    fn greedy_best(&self, leaves: &[Plan], ests: &[crate::cost::CardEst]) -> (f64, Plan) {
+        let mut parts: Vec<(f64, Plan, crate::cost::CardEst)> = leaves
+            .iter()
+            .zip(ests)
+            .map(|(l, e)| (0.0, l.clone(), e.clone()))
+            .collect();
+        while parts.len() > 1 {
+            let mut pick = (0usize, 1usize, f64::INFINITY, 0.0f64);
+            for i in 0..parts.len() {
+                for j in 0..parts.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let out = crate::cost::join_set_est(&[&parts[i].2, &parts[j].2]).rows;
+                    let step = crate::cost::join_step_cost(parts[i].2.rows, parts[j].2.rows, out);
+                    let cost = parts[i].0 + parts[j].0 + step;
+                    if cost < pick.2 {
+                        pick = (i, j, cost, out);
+                    }
+                }
+            }
+            let (i, j, cost, _) = pick;
+            let (hi, lo) = (i.max(j), i.min(j));
+            let (_, pj, ej) = parts.swap_remove(hi);
+            let (_, pi, ei) = parts.swap_remove(lo);
+            // `swap_remove(hi)` first keeps `lo`'s index valid; reassemble
+            // in (i = probe, j = build) orientation.
+            let (pl, pr, el, er) = if hi == j {
+                (pi, pj, ei, ej)
+            } else {
+                (pj, pi, ej, ei)
+            };
+            let joined_est = crate::cost::join_set_est(&[&el, &er]);
+            parts.push((cost, pl.join(pr), joined_est));
+        }
+        let (cost, plan, _) = parts.pop().expect("one tree remains");
+        (cost, plan)
+    }
+
+    /// Sweep an extension node: rewrite its inputs (memoized by `Arc`
+    /// identity), then try the two cost-gated rewrites the operator
+    /// declares — distribution over a union input, and plan-time tuning.
+    fn rewrite_ext(&mut self, op: Arc<dyn ExtOperator>) -> Result<Plan, MayError> {
+        let key = Arc::as_ptr(&op) as *const () as usize;
+        if let Some(done) = self.memo.get(&key) {
+            return Ok(done.clone());
+        }
+        let before = self.rewrites;
+        let rewritten = op
+            .inputs()
+            .into_iter()
+            .cloned()
+            .map(|p| self.rewrite(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        let node = if self.rewrites == before {
+            Plan::Ext(Arc::clone(&op))
+        } else {
+            self.rebuild_guarded(&op, rewritten, before)
+        };
+        let node = self.distribute_or_tune(node)?;
+        self.memo.insert(key, node.clone());
+        Ok(node)
+    }
+
+    /// [`Pass::rebuild`]'s guard, replayed for the cost phase: refuse input
+    /// replacement when the operator has no rebuild hook or requires
+    /// normalized input and a rewritten input lost provable certainty.
+    fn rebuild_guarded(
+        &mut self,
+        op: &Arc<dyn ExtOperator>,
+        inputs: Vec<Plan>,
+        before: usize,
+    ) -> Plan {
+        if op.props().requires_normalized_input {
+            let preserved = op
+                .inputs()
+                .iter()
+                .zip(&inputs)
+                .all(|(orig, new)| !orig.is_certain() || new.is_certain());
+            if !preserved {
+                self.rewrites = before;
+                return Plan::Ext(Arc::clone(op));
+            }
+        }
+        match op.with_inputs(inputs) {
+            Some(rebuilt) => rebuilt,
+            None => {
+                self.rewrites = before;
+                Plan::Ext(Arc::clone(op))
+            }
+        }
+    }
+
+    /// Apply the operator-declared, estimate-gated rewrites to an extension
+    /// node: `op(A ∪ B) → op(A) ∪ op(B)` when the operator distributes over
+    /// union and the split estimates ≥5% cheaper (each side elided outright
+    /// when provably certain and duplicate-free), else the operator's
+    /// [`ExtOperator::plan_time_tuned`] self-replacement.
+    fn distribute_or_tune(&mut self, node: Plan) -> Result<Plan, MayError> {
+        let Plan::Ext(op) = node else {
+            return Ok(node);
+        };
+        let props = op.props();
+        if props.distributes_over_union && op.inputs().len() == 1 {
+            if let Plan::Union { left, right } = op.inputs()[0] {
+                let side = |input: &Plan| -> Option<Plan> {
+                    if props.identity_on_certain && input.is_certain() && input.is_distinct() {
+                        return Some(input.clone());
+                    }
+                    op.with_inputs(vec![input.clone()])
+                };
+                if let (Some(l), Some(r)) = (side(left), side(right)) {
+                    let candidate = l.union(r);
+                    let current = Plan::Ext(Arc::clone(&op));
+                    let (_, cand_cost) = self.est(&candidate);
+                    let (_, cur_cost) = self.est(&current);
+                    if cand_cost < cur_cost * COST_IMPROVEMENT {
+                        self.rewrites += 1;
+                        return Ok(candidate);
+                    }
+                }
+            }
+        }
+        if let Some(first) = op.inputs().first() {
+            let (in_est, _) = self.est(first);
+            if let Some(tuned) = op.plan_time_tuned(in_est.rows, in_est.nontrivial_frac) {
+                self.rewrites += 1;
+                return Ok(tuned);
+            }
+        }
+        Ok(Plan::Ext(op))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +1072,113 @@ mod tests {
 
     fn opt(plan: Plan) -> String {
         optimize(&plan, &schemas()).expect("optimizes").to_string()
+    }
+
+    /// Statistics making `r1` large (10⁴ rows), `r2` medium (10³), `r3`
+    /// tiny (10), with join keys `b` (ndv 100) and `c` (ndv 10³ in r2,
+    /// 10 in r3).
+    fn stats() -> BTreeMap<String, maybms_core::RelationStats> {
+        use maybms_core::stats::{ColumnStats, RelationStats};
+        let rel = |rows: u64, cols: &[(&str, f64)]| RelationStats {
+            rows,
+            columns: cols
+                .iter()
+                .map(|&(name, ndv)| {
+                    (
+                        name.to_string(),
+                        ColumnStats {
+                            distinct: ndv,
+                            min_max: None,
+                        },
+                    )
+                })
+                .collect(),
+            nontrivial_frac: 0.0,
+            mean_alternatives: 0.0,
+        };
+        let mut m = BTreeMap::new();
+        m.insert(
+            "r1".to_string(),
+            rel(10_000, &[("a", 10_000.0), ("b", 100.0)]),
+        );
+        m.insert(
+            "r2".to_string(),
+            rel(1_000, &[("b", 100.0), ("c", 1_000.0)]),
+        );
+        m.insert("r3".to_string(), rel(10, &[("c", 10.0), ("d", 10.0)]));
+        m
+    }
+
+    fn opt_cost(plan: &Plan) -> Plan {
+        optimize_with_stats(plan, &schemas(), &stats()).expect("optimizes")
+    }
+
+    #[test]
+    fn cost_phase_reorders_a_pathological_join_chain() {
+        // Text order joins the two big relations first (10⁵ intermediate);
+        // the cost phase joins r2 ⋈ r3 first (10 rows) and probes r1 into
+        // it. The new shape's schema is already a–b–c–d, so no restoring
+        // projection is needed.
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .join(Plan::scan("r3"));
+        let best = opt_cost(&plan);
+        assert_eq!(
+            best.to_string(),
+            "natural-join\n  scan[r1]\n  natural-join\n    scan[r2]\n    scan[r3]\n"
+        );
+    }
+
+    #[test]
+    fn reorder_restores_the_original_column_order() {
+        // Swapping a 2-leaf join puts the small relation on the build
+        // (right) side; the output column order changes, so the cost phase
+        // wraps the result in a projection onto the original schema.
+        let plan = Plan::scan("r2").join(Plan::scan("r1"));
+        let best = opt_cost(&plan);
+        assert_eq!(
+            best.to_string(),
+            "project[b, c, a]\n  natural-join\n    scan[r1]\n    scan[r2]\n"
+        );
+        let sch = best.schema_with(&schemas()).expect("schema");
+        assert_eq!(sch.names(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn cost_optimization_is_idempotent() {
+        for plan in [
+            Plan::scan("r1")
+                .join(Plan::scan("r2"))
+                .join(Plan::scan("r3")),
+            Plan::scan("r3")
+                .join(Plan::scan("r2"))
+                .join(Plan::scan("r1")),
+            Plan::scan("r2").join(Plan::scan("r1")),
+            Plan::scan("r1")
+                .join(Plan::scan("r2"))
+                .join(Plan::scan("r3"))
+                .project(["a", "d"]),
+        ] {
+            let once = opt_cost(&plan);
+            let twice = opt_cost(&once);
+            assert_eq!(once.to_string(), twice.to_string());
+        }
+    }
+
+    #[test]
+    fn without_stats_the_cost_phase_is_a_no_op() {
+        let empty: BTreeMap<String, maybms_core::RelationStats> = BTreeMap::new();
+        let plan = Plan::scan("r2").join(Plan::scan("r1"));
+        let with = optimize_with_stats(&plan, &schemas(), &empty).expect("optimizes");
+        assert_eq!(with.to_string(), opt(plan));
+    }
+
+    #[test]
+    fn near_tie_shapes_are_left_alone() {
+        // r2 ⋈ r3 is already the cheap order; the margin keeps the shape.
+        let plan = Plan::scan("r2").join(Plan::scan("r3"));
+        let best = opt_cost(&plan);
+        assert_eq!(best.to_string(), "natural-join\n  scan[r2]\n  scan[r3]\n");
     }
 
     #[test]

@@ -15,13 +15,15 @@
 
 use std::time::Instant;
 
-use maybms_algebra::{col, lit, optimize, run, run_traced, run_with_opts, Plan, Predicate};
+use maybms_algebra::{
+    col, lit, optimize, optimize_with_stats, run, run_traced, run_with_opts, Plan, Predicate,
+};
 use maybms_bench::{
-    conf_chain_workload, conf_dense_workload, conf_disjoint_workload, join_columnar_workload,
-    join_workload, normalization_workload, repair_workload,
+    conf_chain_workload, conf_dense_workload, conf_disjoint_workload, join3_skewed_workload,
+    join_columnar_workload, join_workload, normalization_workload, repair_workload,
 };
 use maybms_core::rng::Rng;
-use maybms_core::{ParCfg, WorldSet};
+use maybms_core::{world_set_stats, ParCfg, WorldSet};
 use maybms_ql::{conf, conf_approx, possible, repair_key};
 use maybms_sql::{compile, Catalog};
 
@@ -173,6 +175,76 @@ fn main() {
         assert_eq!(rows, rows_opt, "optimization changed the result size");
         emit("join3_filtered", n, rows_opt, ms);
         dump_trace(&ws, &optimized, "join3_filtered", n);
+    }
+
+    // The cost-based phase's headline case: the textual join order
+    // `(r1 ⋈ r2) ⋈ r3` materializes a ~n²/2000-row zipf-keyed blowup
+    // before the selective `c` hop shrinks it; with catalog statistics the
+    // DP reorder starts from `r2 ⋈ r3` (~n/100 rows) instead. The rule
+    // optimizer alone cannot fix this (there is no filter to push — the
+    // asymmetry lives entirely in the data), so `join3_skewed_raw` times
+    // the rule-optimized text order and `join3_skewed` the cost-optimized
+    // plan, asserting identical output as always. At 10⁴+ rows the
+    // reorder must win outright — that assertion is the CI bench smoke
+    // for the cost phase.
+    for &n in sizes {
+        let ws = join3_skewed_workload(&mut Rng::new(0x5E3D), n);
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .join(Plan::scan("r3"));
+        let rules_only = optimize(&plan, &ws.relations).expect("plan optimizes");
+        let (rows, ms_raw) = bench_min(&ws, |ws| {
+            run(ws, &rules_only)
+                .expect("join workload is well-typed")
+                .len()
+        });
+        emit("join3_skewed_raw", n, rows, ms_raw);
+        let stats = world_set_stats(&ws);
+        let optimized = optimize_with_stats(&plan, &ws.relations, &stats).expect("plan optimizes");
+        assert_ne!(
+            rules_only.to_string(),
+            optimized.to_string(),
+            "the cost phase should reorder the skewed join"
+        );
+        let (rows_opt, ms_opt) = bench_min(&ws, |ws| {
+            run(ws, &optimized)
+                .expect("optimized plan is well-typed")
+                .len()
+        });
+        assert_eq!(rows, rows_opt, "cost optimization changed the result size");
+        if n >= 10_000 {
+            assert!(
+                ms_opt < ms_raw,
+                "cost-optimized join3_skewed ({ms_opt:.3} ms) should beat text order ({ms_raw:.3} ms) at n={n}"
+            );
+        }
+        emit("join3_skewed", n, rows_opt, ms_opt);
+        dump_trace(&ws, &optimized, "join3_skewed", n);
+    }
+
+    // A selective filter on the *last* relation of the chain: the rules
+    // push it into `r3`'s scan, but only the cost phase knows the filtered
+    // side is now tiny and reorders the join so it participates first.
+    for &n in sizes {
+        let ws = join_workload(&mut Rng::new(0x10A0), n);
+        let plan = Plan::scan("r1")
+            .join(Plan::scan("r2"))
+            .join(Plan::scan("r3"))
+            .select(Predicate::lt(col("d"), lit((n / 10) as i64)));
+        let (rows, ms) = bench_min(&ws, |ws| {
+            run(ws, &plan).expect("join workload is well-typed").len()
+        });
+        emit("selective_right_raw", n, rows, ms);
+        let stats = world_set_stats(&ws);
+        let optimized = optimize_with_stats(&plan, &ws.relations, &stats).expect("plan optimizes");
+        let (rows_opt, ms) = bench_min(&ws, |ws| {
+            run(ws, &optimized)
+                .expect("optimized plan is well-typed")
+                .len()
+        });
+        assert_eq!(rows, rows_opt, "cost optimization changed the result size");
+        emit("selective_right", n, rows_opt, ms);
+        dump_trace(&ws, &optimized, "selective_right", n);
     }
 
     // A filter above `POSSIBLE` over a join: raw, the executor joins

@@ -288,6 +288,73 @@ pub fn join_columnar_workload(rng: &mut Rng, n: usize) -> WorldSet {
     ws
 }
 
+/// Build a world set whose *textual* join order is pathological: three
+/// chained relations `r1(a, b)`, `r2(b, c)`, `r3(c, d)` where the `b`
+/// domain is small (2000 keys, zipf-skewed in `r1`) and the `c` domain is
+/// huge (`10n` keys, with `r3` only `n/10` rows). Joining in text order
+/// `(r1 ⋈ r2) ⋈ r3` materializes the ~`n²/2000`-row `b` hop first; the
+/// cost-based order `(r2 ⋈ r3) ⋈ r1` starts from the selective `c` hop
+/// (~`n/100` rows) and never builds the blowup. Catalog statistics see
+/// exactly this asymmetry through the per-column distinct counts.
+pub fn join3_skewed_workload(rng: &mut Rng, n: usize) -> WorldSet {
+    const B_KEYS: usize = 2000;
+    let mut ws = WorldSet::new();
+    let n_comps = (n / 10).max(1);
+    let mut comp_ids = Vec::with_capacity(n_comps);
+    for _ in 0..n_comps {
+        comp_ids.push(ws.components.add(Component::uniform(2).expect("2 > 0")));
+    }
+    let c_domain = 10 * n;
+    // Log-uniform ranks approximate a zipf(1) key distribution: most of
+    // `r1` lands on a handful of hot `b` keys, but all 2000 stay possible.
+    fn zipf(rng: &mut Rng) -> usize {
+        ((B_KEYS as f64).powf(rng.unit_f64()) as usize).min(B_KEYS - 1)
+    }
+    fn push_rows(
+        ws: &mut WorldSet,
+        rng: &mut Rng,
+        comp_ids: &[ComponentId],
+        name: &str,
+        cols: [&str; 2],
+        rows: usize,
+        mk: &mut dyn FnMut(&mut Rng) -> (i64, i64),
+    ) {
+        let schema = Schema::of(
+            &cols
+                .iter()
+                .map(|c| (*c, ValueType::Int))
+                .collect::<Vec<_>>(),
+        )
+        .expect("distinct");
+        let mut rel = URelation::new(schema);
+        for _ in 0..rows {
+            let (x, y) = mk(rng);
+            let t = Tuple::new(vec![Value::Int(x), Value::Int(y)]);
+            let c = comp_ids[rng.below(comp_ids.len())];
+            rel.push(t, WsDescriptor::single(c, rng.below(2) as u16))
+                .expect("schema ok");
+        }
+        ws.insert(name, rel)
+            .expect("descriptors reference fresh components");
+    }
+    push_rows(&mut ws, rng, &comp_ids, "r1", ["a", "b"], n, &mut |rng| {
+        (rng.below(n) as i64, zipf(rng) as i64)
+    });
+    push_rows(&mut ws, rng, &comp_ids, "r2", ["b", "c"], n, &mut |rng| {
+        (rng.below(B_KEYS) as i64, rng.below(c_domain) as i64)
+    });
+    push_rows(
+        &mut ws,
+        rng,
+        &comp_ids,
+        "r3",
+        ["c", "d"],
+        (n / 10).max(1),
+        &mut |rng| (rng.below(c_domain) as i64, rng.below(n) as i64),
+    );
+    ws
+}
+
 /// Build a world set with three chained relations `r1(a,b)`, `r2(b,c)`,
 /// `r3(c,d)` of `n` uncertain rows each, with join keys drawn from a domain
 /// of size `n` so a 3-way natural join stays roughly linear in output size.

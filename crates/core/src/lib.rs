@@ -35,6 +35,9 @@
 //!   unreferenced components;
 //! * [`naive`] — plain (single-world) implementations of the positive
 //!   relational algebra used by the per-world oracle;
+//! * [`stats`] — one-pass per-relation statistics (KMV distinct-count
+//!   sketches, min/max, descriptor density) that the cost-based optimizer
+//!   phase in `maybms-algebra` plans against;
 //! * [`obs`] — observability: the per-query [`Tracer`]/[`QueryTrace`] span
 //!   machinery behind `EXPLAIN ANALYZE` and Chrome-trace export, plus the
 //!   process-wide [`metrics`] registry (counters and log-linear histograms)
@@ -64,6 +67,7 @@ pub mod parallel;
 pub mod rel;
 pub mod rng;
 pub mod schema;
+pub mod stats;
 pub mod urel;
 pub mod value;
 pub mod world;
@@ -78,6 +82,7 @@ pub use obs::{metrics, Metrics, ObsCounters, QueryTrace, Span, SpanId, SpanKind,
 pub use parallel::{ParCfg, ParStats};
 pub use rel::{Relation, Tuple};
 pub use schema::{Column, Schema};
+pub use stats::{collect as collect_stats, world_set_stats, ColumnStats, KmvSketch, RelationStats};
 pub use urel::URelation;
 pub use value::{Value, ValueType, F64};
 pub use world::WorldSet;

@@ -617,6 +617,11 @@ pub struct Metrics {
     pub normalize_runs_total: Counter,
     /// Rows entering normalization passes.
     pub normalize_rows_total: Counter,
+    /// Cardinality-estimation error per analyzed plan node, as the q-error
+    /// `max(est/actual, actual/est)` scaled by 1000 (so the histogram's
+    /// integer buckets resolve sub-10% mis-estimates; 1000 = perfect).
+    /// Fed by `EXPLAIN ANALYZE`, which is where estimates meet actuals.
+    pub plan_q_error_milli: Histogram,
 }
 
 impl Metrics {
@@ -663,9 +668,10 @@ impl Metrics {
             "maybms_normalize_rows_total {}\n",
             self.normalize_rows_total.get()
         ));
-        let histograms: [(&str, &Histogram); 2] = [
+        let histograms: [(&str, &Histogram); 3] = [
             ("maybms_query_wall_nanos", &self.query_wall_nanos),
             ("maybms_query_rows", &self.query_rows),
+            ("maybms_plan_q_error_milli", &self.plan_q_error_milli),
         ];
         for (name, h) in histograms {
             out.push_str(&format!("{name}_count {}\n", h.count()));

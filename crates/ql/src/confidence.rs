@@ -181,6 +181,31 @@ impl ExtOperator for Conf {
             certain_output: true,
             // Not an identity even on certain input: it appends a column.
             identity_on_certain: false,
+            // Probabilities of the two sides do not combine by union (a
+            // tuple's descriptors can span both).
+            distributes_over_union: false,
+        }
+    }
+
+    fn plan_time_tuned(&self, _est_input_rows: f64, _est_nontrivial_frac: f64) -> Option<Plan> {
+        // Freeze the exact/sampling cutover into approximate nodes at plan
+        // time, so execution no longer consults the environment per query.
+        // The pinned value is the same one `eval` would resolve — the
+        // environment knob (or its default), **not** anything derived from
+        // the estimates — so the cost-based plan is byte-identical to the
+        // rule-only plan on every world set: per-group exact-vs-sampling
+        // decisions cannot flip with estimation noise. Idempotent by
+        // construction: a node whose `exact_limit` is already set returns
+        // `None`.
+        match self.approx {
+            Some(a) if a.exact_limit.is_none() => Some(conf_approx_with(
+                self.input.clone(),
+                ApproxConf {
+                    exact_limit: Some(conf_exact_limit_from_env()),
+                    ..a
+                },
+            )),
+            _ => None,
         }
     }
 

@@ -22,6 +22,7 @@ fn extract_props() -> ExtProps {
         distinct_output: true,
         certain_output: true,
         identity_on_certain: true,
+        distributes_over_union: false,
     }
 }
 
@@ -51,6 +52,13 @@ impl ExtOperator for Possible {
             // π commutes with ∃-world semantics: a projected tuple occurs
             // in some world iff some extension of it does.
             commutes_with_project: true,
+            // ∃-world also distributes over union: a tuple is possible in
+            // `A ∪ B` iff it is possible in `A` or in `B`, and the union's
+            // set semantics absorb the duplicate collapse. (`certain` does
+            // not distribute — coverage can need descriptors from both
+            // sides.) The cost phase splits only where the estimates say
+            // the two smaller sorts beat one big one.
+            distributes_over_union: true,
             ..extract_props()
         }
     }
@@ -116,6 +124,13 @@ impl ExtOperator for Certain {
         // than `π_k(certain(R))`. `extract_props` already declares no
         // projection commutation; this operator keeps it that way.
         extract_props()
+    }
+
+    fn estimate_rows(&self, _input_rows: f64, input_distinct: f64, nontrivial_frac: f64) -> f64 {
+        // Only tuples whose descriptors cover every world survive. The
+        // certain slice of the input is the natural proxy: distinct tuples
+        // scaled by the fraction of trivially-described rows.
+        (input_distinct * (1.0 - nontrivial_frac.clamp(0.0, 1.0))).max(1.0)
     }
 
     fn with_inputs(&self, mut inputs: Vec<Plan>) -> Option<Plan> {

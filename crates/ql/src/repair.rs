@@ -70,7 +70,14 @@ impl ExtOperator for RepairKey {
             distinct_output: true,
             certain_output: false,
             identity_on_certain: false,
+            distributes_over_union: false,
         }
+    }
+
+    fn estimate_rows(&self, input_rows: f64, _input_distinct: f64, _nontrivial_frac: f64) -> f64 {
+        // Row-preserving: every input tuple survives as one alternative of
+        // its key group (the normalized input is already duplicate-free).
+        input_rows
     }
 
     fn with_inputs(&self, mut inputs: Vec<Plan>) -> Option<Plan> {

@@ -1,17 +1,21 @@
-//! The catalog: relation schemas that MayQL names resolve against.
+//! The catalog: relation schemas (and statistics) that MayQL names resolve
+//! against.
 
 use std::collections::BTreeMap;
 
-use maybms_algebra::SchemaProvider;
-use maybms_core::{Schema, WorldSet};
+use maybms_algebra::{SchemaProvider, StatsProvider};
+use maybms_core::{collect_stats, RelationStats, Schema, WorldSet};
 
-/// A name → [`Schema`] map. Semantic analysis resolves relation references
-/// against it; it is typically derived from a [`WorldSet`] with
-/// [`Catalog::from_world_set`] and refreshed whenever a relation is added
-/// (e.g. after a REPL `LET`).
+/// A name → [`Schema`] map, optionally carrying per-relation statistics
+/// ([`RelationStats`]) for the cost-based optimizer phase. Semantic analysis
+/// resolves relation references against it; it is typically derived from a
+/// [`WorldSet`] with [`Catalog::from_world_set`] — which collects statistics
+/// in the same pass — and refreshed whenever a relation is added (e.g. after
+/// a REPL `LET`).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Catalog {
     schemas: BTreeMap<String, Schema>,
+    stats: BTreeMap<String, RelationStats>,
 }
 
 impl Catalog {
@@ -20,12 +24,22 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register (or replace) a relation schema.
+    /// Register (or replace) a relation schema. Schema-only registration
+    /// carries no statistics: the relation plans with defaults until
+    /// [`Catalog::insert_stats`] (or a catalog refresh) supplies them.
     pub fn insert(&mut self, name: impl Into<String>, schema: Schema) {
-        self.schemas.insert(name.into(), schema);
+        let name = name.into();
+        self.stats.remove(&name);
+        self.schemas.insert(name, schema);
     }
 
-    /// The schemas of every relation in a world set.
+    /// Register (or replace) a relation's statistics.
+    pub fn insert_stats(&mut self, name: impl Into<String>, stats: RelationStats) {
+        self.stats.insert(name.into(), stats);
+    }
+
+    /// The schemas *and statistics* of every relation in a world set, in
+    /// one pass per relation.
     pub fn from_world_set(ws: &WorldSet) -> Catalog {
         Catalog {
             schemas: ws
@@ -33,12 +47,22 @@ impl Catalog {
                 .iter()
                 .map(|(n, r)| (n.clone(), r.schema().clone()))
                 .collect(),
+            stats: ws
+                .relations
+                .iter()
+                .map(|(n, r)| (n.clone(), collect_stats(r, &ws.components)))
+                .collect(),
         }
     }
 
     /// The schema of the named relation, if registered.
     pub fn schema(&self, name: &str) -> Option<&Schema> {
         self.schemas.get(name)
+    }
+
+    /// The statistics of the named relation, if collected.
+    pub fn stats(&self, name: &str) -> Option<&RelationStats> {
+        self.stats.get(name)
     }
 
     /// The registered relation names, in order.
@@ -52,5 +76,16 @@ impl Catalog {
 impl SchemaProvider for Catalog {
     fn base_schema(&self, name: &str) -> Option<&Schema> {
         self.schema(name)
+    }
+}
+
+/// The catalog is also a [`StatsProvider`]: the cost-based phase plans
+/// against the statistics collected at catalog-refresh time.
+impl StatsProvider for Catalog {
+    fn relation_stats(&self, name: &str) -> Option<&RelationStats> {
+        self.stats.get(name)
+    }
+    fn has_stats(&self) -> bool {
+        !self.stats.is_empty()
     }
 }

@@ -2,14 +2,21 @@
 //! and `EXPLAIN ANALYZE`: execute with tracing on and annotate the
 //! optimized plan with per-node observations.
 //!
+//! When the catalog carries relation statistics, both statements also show
+//! the cost model's per-node cardinality estimates (`est_rows=`), and
+//! `EXPLAIN ANALYZE` closes with a q-error summary comparing them against
+//! the observed row counts — the planner grading its own homework. Each
+//! analyzed node's q-error also feeds the process-wide
+//! `maybms_plan_q_error_milli` histogram in [`maybms_core::metrics`].
+//!
 //! The REPL's `EXPLAIN [ANALYZE] <query>` statements and the golden plan
 //! tests share this module, so what the tests pin is exactly what users
 //! see.
 
 use std::fmt;
 
-use maybms_algebra::{run_traced, ExecStats, Plan};
-use maybms_core::{ParCfg, QueryTrace, WorldSet};
+use maybms_algebra::{estimate_preorder, run_traced, ExecStats, Plan, StatsProvider};
+use maybms_core::{metrics, ParCfg, QueryTrace, Span, SpanKind, WorldSet};
 
 use crate::ast::Query;
 use crate::catalog::Catalog;
@@ -24,16 +31,28 @@ pub struct Explain {
     pub lowered: Plan,
     /// The plan after the algebraic rewrite passes.
     pub optimized: Plan,
+    /// Estimated output rows per node of `optimized`, in pre-order (the
+    /// plan tree's printed line order); `None` when the catalog has no
+    /// statistics to estimate from.
+    pub estimates: Option<Vec<f64>>,
 }
 
 /// Analyze a parsed query and produce both plans.
 pub fn explain(catalog: &Catalog, query: &Query) -> Result<Explain, SqlError> {
     let (lowered, _) = lower(catalog, query)?;
     let optimized = optimize_plan(catalog, &lowered, query.span())?;
-    Ok(Explain { lowered, optimized })
+    let estimates = catalog
+        .has_stats()
+        .then(|| estimate_preorder(&optimized, catalog, catalog));
+    Ok(Explain {
+        lowered,
+        optimized,
+        estimates,
+    })
 }
 
-/// The REPL rendering: both operator trees, indented under their headers.
+/// The REPL rendering: both operator trees, indented under their headers;
+/// the optimized tree's lines carry `est_rows=` when estimates exist.
 impl fmt::Display for Explain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let tree = |f: &mut fmt::Formatter<'_>, plan: &Plan| -> fmt::Result {
@@ -45,7 +64,17 @@ impl fmt::Display for Explain {
         writeln!(f, "lowered plan:")?;
         tree(f, &self.lowered)?;
         writeln!(f, "optimized plan:")?;
-        tree(f, &self.optimized)
+        match &self.estimates {
+            // One printed line per plan node, in the same pre-order the
+            // estimator walks.
+            Some(ests) => {
+                for (line, est) in self.optimized.to_string().lines().zip(ests) {
+                    writeln!(f, "  {line}  (est_rows={})", fmt_est(*est))?;
+                }
+                Ok(())
+            }
+            None => tree(f, &self.optimized),
+        }
     }
 }
 
@@ -63,6 +92,9 @@ pub struct ExplainAnalyze {
     pub trace: QueryTrace,
     /// The run's flat summary counters.
     pub stats: ExecStats,
+    /// Estimated output rows per node of `optimized`, in pre-order;
+    /// `None` when the catalog has no statistics.
+    pub estimates: Option<Vec<f64>>,
 }
 
 /// Compile `query`, execute it on `ws` with tracing enabled, and collect
@@ -78,23 +110,91 @@ pub fn explain_analyze(
 ) -> Result<ExplainAnalyze, SqlError> {
     let (lowered, _) = lower(catalog, query)?;
     let optimized = optimize_plan(catalog, &lowered, query.span())?;
+    let estimates = catalog
+        .has_stats()
+        .then(|| estimate_preorder(&optimized, catalog, catalog));
     let (_result, stats, trace) = run_traced(ws, &optimized, par)
         .map_err(|e| SqlError::new(query.span(), format!("execution failed: {e}")))?;
-    Ok(ExplainAnalyze {
+    let analyzed = ExplainAnalyze {
         optimized,
         trace,
         stats,
-    })
+        estimates,
+    };
+    // Grade the estimates against the observed row counts while we have
+    // both in hand: one q-error histogram sample per analyzed plan node.
+    for (est, actual) in analyzed.node_estimates() {
+        let q = q_error(est, actual);
+        metrics().plan_q_error_milli.observe((q * 1000.0) as u64);
+    }
+    Ok(analyzed)
+}
+
+/// The q-error of one estimate: `max(est/actual, actual/est)` with both
+/// sides floored at one row, so empty outputs grade against 1 instead of
+/// dividing by zero. 1.0 is a perfect estimate.
+fn q_error(est: f64, actual: u64) -> f64 {
+    let est = est.max(1.0);
+    let actual = (actual as f64).max(1.0);
+    (est / actual).max(actual / est)
+}
+
+/// `est_rows=` values print as integers: sub-row precision is estimation
+/// noise, not information.
+fn fmt_est(est: f64) -> String {
+    format!("{:.0}", est.max(0.0))
+}
+
+impl ExplainAnalyze {
+    /// Pair each *node* span (execution pre-order, which mirrors the plan's
+    /// printed pre-order) with its estimate. Returns an empty vector when
+    /// estimates are absent or the span tree diverges from the plan tree
+    /// (e.g. a shared subtree executed once) — annotation then degrades to
+    /// none rather than mislabeling nodes.
+    fn node_estimates(&self) -> Vec<(f64, u64)> {
+        let Some(ests) = &self.estimates else {
+            return Vec::new();
+        };
+        let nodes: Vec<&Span> = self
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Node)
+            .collect();
+        if nodes.len() != ests.len() {
+            return Vec::new();
+        }
+        ests.iter()
+            .zip(nodes)
+            .map(|(&e, s)| (e, s.rows_out))
+            .collect()
+    }
 }
 
 /// The REPL rendering: the executed span tree (which mirrors the optimized
 /// plan tree, plus `·`-marked operator sub-phases), each node annotated
-/// with wall time, row counts, and the counters it incurred, followed by a
-/// one-line execution summary.
+/// with wall time, row counts, estimated rows (when the catalog has
+/// statistics), and the counters it incurred, followed by a one-line
+/// execution summary and — with estimates — a q-error summary.
 impl fmt::Display for ExplainAnalyze {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let node_ests = self.node_estimates();
+        let mut next = node_ests.iter();
         writeln!(f, "analyzed plan:")?;
         for line in self.trace.render_tree().lines() {
+            // Node lines carry `rows=`; phase lines are `·`-marked and
+            // estimate nothing.
+            if !line.trim_start().starts_with('·') {
+                if let Some((est, _)) = next.next() {
+                    let annotated = line
+                        .strip_suffix(')')
+                        .map(|l| format!("{l} est_rows={})", fmt_est(*est)));
+                    if let Some(a) = annotated {
+                        writeln!(f, "  {a}")?;
+                        continue;
+                    }
+                }
+            }
             writeln!(f, "  {line}")?;
         }
         writeln!(
@@ -103,6 +203,18 @@ impl fmt::Display for ExplainAnalyze {
             self.trace.total_nanos as f64 / 1e6,
             self.stats.output_rows,
             self.trace.threads
-        )
+        )?;
+        if !node_ests.is_empty() {
+            let mut qs: Vec<f64> = node_ests.iter().map(|&(e, a)| q_error(e, a)).collect();
+            qs.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+            let median = qs[qs.len() / 2];
+            let max = qs[qs.len() - 1];
+            writeln!(
+                f,
+                "estimation: nodes={} q_error median={median:.2} max={max:.2}",
+                qs.len()
+            )?;
+        }
+        Ok(())
     }
 }

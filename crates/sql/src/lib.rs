@@ -61,7 +61,9 @@ pub use ast::{Query, Statement};
 pub use catalog::Catalog;
 pub use explain::{explain, explain_analyze, Explain, ExplainAnalyze};
 pub use parser::{parse_query, parse_script, parse_statement};
-pub use planner::{analyze, compile, compile_unoptimized, lower, optimize_plan};
+pub use planner::{
+    analyze, compile, compile_unoptimized, cost_opt_enabled, lower, optimize_plan, COST_OPT_ENV,
+};
 pub use span::{Span, SqlError};
 pub use unparse::{schema_of, to_mayql};
 

@@ -4,6 +4,9 @@
 //! (both share [`maybms_sql::explain`]), so a rewrite-rule change that
 //! shifts plan shapes must update these expectations consciously.
 
+use std::collections::BTreeMap;
+
+use maybms_core::stats::{ColumnStats, RelationStats};
 use maybms_core::{Schema, ValueType};
 use maybms_sql::{explain, parse_query, Catalog};
 
@@ -127,6 +130,66 @@ optimized plan:
     conf(eps=0.05, delta=0.01)
       select[ssn = 1]
         scan[census]
+";
+    assert_eq!(text, expected);
+}
+
+/// With statistics registered, `EXPLAIN` renders the cost model's
+/// `est_rows=` on every optimized-plan node, and the cost phase moves the
+/// selective census side to the hash build (right) side of the join.
+#[test]
+fn explain_shows_estimates_and_reorders_with_stats() {
+    // This golden pins the *cost-optimized* shape; neutralize an ambient
+    // MAYBMS_COST_OPT=0 (the CI matrix runs the suite both ways).
+    std::env::set_var(maybms_sql::COST_OPT_ENV, "1");
+    let mut catalog = census_catalog();
+    let rel = |rows: u64, nontrivial: f64, cols: &[(&str, f64)]| RelationStats {
+        rows,
+        columns: cols
+            .iter()
+            .map(|&(name, ndv)| {
+                (
+                    name.to_string(),
+                    ColumnStats {
+                        distinct: ndv,
+                        min_max: None,
+                    },
+                )
+            })
+            .collect::<BTreeMap<_, _>>(),
+        nontrivial_frac: nontrivial,
+        mean_alternatives: if nontrivial > 0.0 { 2.0 } else { 0.0 },
+    };
+    catalog.insert_stats(
+        "census",
+        rel(
+            1_000,
+            1.0,
+            &[("name", 200.0), ("ssn", 1_000.0), ("w", 10.0)],
+        ),
+    );
+    catalog.insert_stats("homes", rel(50, 0.0, &[("ssn", 50.0), ("city", 20.0)]));
+    let parsed = parse_query("SELECT POSSIBLE city FROM census, homes WHERE name = 'Smith'")
+        .expect("query parses");
+    let text = explain(&catalog, &parsed)
+        .expect("query analyzes")
+        .to_string();
+    let expected = "\
+lowered plan:
+  possible
+    project[city]
+      select[name = 'Smith']
+        natural-join
+          scan[census]
+          scan[homes]
+optimized plan:
+  possible  (est_rows=5)
+    project[city]  (est_rows=5)
+      natural-join  (est_rows=5)
+        scan[homes]  (est_rows=50)
+        project[ssn]  (est_rows=5)
+          select[name = 'Smith']  (est_rows=5)
+            scan[census]  (est_rows=1000)
 ";
     assert_eq!(text, expected);
 }

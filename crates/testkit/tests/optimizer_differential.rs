@@ -21,9 +21,9 @@
 //! are compared exactly, not merely isomorphically. A failing case prints
 //! its seed and both plan trees for exact replay.
 
-use maybms_algebra::{infer_schema, optimize, run, Plan};
+use maybms_algebra::{infer_schema, optimize, optimize_with_stats, run, Plan};
 use maybms_core::rng::Rng;
-use maybms_core::{URelation, WorldSet};
+use maybms_core::{world_set_stats, URelation, WorldSet};
 use maybms_sql::{compile, compile_unoptimized, Catalog};
 use maybms_testkit::{gen_query, gen_uncertain_plan, gen_world_set, GenConfig};
 
@@ -150,6 +150,133 @@ fn swap_renames_survive_projection_pruning() {
     let a = execute(&ws, &plan, "swap rename, original");
     let b = execute(&ws, &optimized, "swap rename, optimized");
     assert_eq!(a, b, "optimized:\n{optimized}");
+}
+
+/// A chain-joinable world: `k` relations `r0(c0, c1) … r{k-1}(c{k-1}, ck)`
+/// with deliberately skewed sizes (so the cost phase has reorderings worth
+/// choosing) and a mix of certain and single-component-uncertain rows.
+fn chain_world(rng: &mut Rng, k: usize) -> WorldSet {
+    use maybms_core::{Component, Schema, Tuple, Value, ValueType, WsDescriptor};
+
+    let mut ws = WorldSet::new();
+    for i in 0..k {
+        let schema = Schema::of(&[
+            (format!("c{i}").as_str(), ValueType::Int),
+            (format!("c{}", i + 1).as_str(), ValueType::Int),
+        ])
+        .expect("distinct columns");
+        let mut rel = URelation::new(schema);
+        // Sizes alternate between tiny and biggish so join order matters.
+        let rows = if rng.chance(0.5) {
+            rng.range(2, 6)
+        } else {
+            rng.range(20, 50)
+        };
+        let dom = rng.range(3, 9);
+        for _ in 0..rows {
+            let desc = if rng.chance(0.3) {
+                let c = ws.components.add(Component::uniform(2).expect("2 > 0"));
+                WsDescriptor::single(c, rng.below(2) as u16)
+            } else {
+                WsDescriptor::tautology()
+            };
+            rel.push(
+                Tuple::new(vec![
+                    Value::Int(rng.below(dom) as i64),
+                    Value::Int(rng.below(dom) as i64),
+                ]),
+                desc,
+            )
+            .expect("tuple matches schema");
+        }
+        ws.insert(format!("r{i}"), rel).expect("fresh name");
+    }
+    ws
+}
+
+/// The cost-based phase on reorder-eligible 4–6-relation join chains with
+/// quantifiers interleaved: cost-optimized ≡ rule-only ≡ raw execution
+/// (compared after dedup — reordering may permute rows, never the set),
+/// schemas preserved, `optimize_with_stats` idempotent, and the phase
+/// actually reorders a healthy fraction of the corpus.
+#[test]
+fn cost_optimized_plans_execute_identically() {
+    let mut reordered = 0;
+    let mut cases = 0;
+    for case in 0..60u64 {
+        let seed = 0x0071_2000 + case;
+        let mut rng = Rng::new(seed);
+        let k = rng.range(4, 7);
+        let ws = chain_world(&mut rng, k);
+        let stats = world_set_stats(&ws);
+
+        // A scrambled left-deep join over all k relations, with `possible`
+        // or `certain` wrapped around random prefixes (conf's appended
+        // column would join on `conf` above it, so it stays at the top).
+        let mut order: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            order.swap(i, rng.below(i + 1));
+        }
+        let mut plan = Plan::scan(format!("r{}", order[0]));
+        for &i in &order[1..] {
+            plan = plan.join(Plan::scan(format!("r{i}")));
+            if rng.chance(0.25) {
+                plan = if rng.chance(0.5) {
+                    maybms_ql::possible(plan)
+                } else {
+                    maybms_ql::certain(plan)
+                };
+            }
+        }
+        if rng.chance(0.3) {
+            plan = maybms_ql::conf(plan);
+        }
+
+        let rules = optimize(&plan, &ws.relations)
+            .unwrap_or_else(|e| panic!("seed {seed}: optimize failed: {e}\nplan:\n{plan}"));
+        let cost = optimize_with_stats(&plan, &ws.relations, &stats)
+            .unwrap_or_else(|e| panic!("seed {seed}: cost phase failed: {e}\nplan:\n{plan}"));
+
+        let schema = infer_schema(&plan, &ws.relations).expect("generated plans are well-typed");
+        assert_eq!(
+            schema,
+            infer_schema(&cost, &ws.relations)
+                .unwrap_or_else(|e| panic!("seed {seed}: cost plan is ill-typed: {e}\n{cost}")),
+            "seed {seed}: output schema changed\nplan:\n{plan}\ncost:\n{cost}"
+        );
+
+        let a = execute(&ws, &plan, &format!("seed {seed}, raw"));
+        let b = execute(&ws, &rules, &format!("seed {seed}, rule-only"));
+        let c = execute(&ws, &cost, &format!("seed {seed}, cost-optimized"));
+        assert_eq!(
+            a, b,
+            "seed {seed}: rule-only differs from raw\nplan:\n{plan}\nrules:\n{rules}"
+        );
+        assert_eq!(
+            b, c,
+            "seed {seed}: cost-optimized differs from rule-only\nplan:\n{plan}\nrules:\n{rules}\ncost:\n{cost}"
+        );
+
+        let twice =
+            optimize_with_stats(&cost, &ws.relations, &stats).expect("re-optimization succeeds");
+        assert_eq!(
+            cost.to_string(),
+            twice.to_string(),
+            "seed {seed}: cost optimization is not idempotent\nplan:\n{plan}"
+        );
+
+        cases += 1;
+        if cost.to_string() != rules.to_string() {
+            reordered += 1;
+        }
+    }
+    // Skewed sizes and scrambled orders are built to give the cost phase
+    // work; if it never disagrees with the rule-only shape it has silently
+    // stopped reordering.
+    assert!(
+        reordered >= cases / 4,
+        "only {reordered}/{cases} chains were reordered"
+    );
 }
 
 #[test]

@@ -35,8 +35,9 @@
 //! machine's parallelism), `\set conf_exact_limit N` changes the cost
 //! cutover above which an approximate `CONF(eps, delta)` switches from
 //! exact per-group computation to sampling (initially
-//! `MAYBMS_CONF_EXACT_LIMIT` or 4096), `\q` quits, `\help` shows the
-//! cheat sheet.
+//! `MAYBMS_CONF_EXACT_LIMIT` or 4096), `\set cost_opt on|off` toggles the
+//! statistics-driven cost-based plan phase (initially `MAYBMS_COST_OPT`,
+//! default on), `\q` quits, `\help` shows the cheat sheet.
 //!
 //! In `--batch` mode the file is processed line by line exactly like an
 //! interactive session (`--` comments, `;` separators, `\`-meta commands —
@@ -56,7 +57,9 @@ use maybms::core::{
 };
 use maybms::ql::{conf_exact_limit_from_env, CONF_EXACT_LIMIT_ENV};
 use maybms::sql::lexer::{lex, TokenKind};
-use maybms::sql::{explain, explain_analyze, parse_statement, Catalog, Statement};
+use maybms::sql::{
+    cost_opt_enabled, explain, explain_analyze, parse_statement, Catalog, Statement, COST_OPT_ENV,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
@@ -403,21 +406,33 @@ impl Session {
     fn set_cmd(&mut self, cmd: &str) {
         let mut parts = cmd.split_whitespace().skip(1);
         let knob = parts.next();
-        let value = parts.next().and_then(|v| v.parse::<usize>().ok());
-        match (knob, value) {
-            (Some("threads"), Some(n)) if n >= 1 => {
+        let raw = parts.next();
+        let number = raw.and_then(|v| v.parse::<usize>().ok());
+        match (knob, raw, number) {
+            (Some("threads"), _, Some(n)) if n >= 1 => {
                 self.threads = n;
                 println!("threads = {n}");
             }
-            (Some("conf_exact_limit"), Some(n)) => {
+            (Some("conf_exact_limit"), _, Some(n)) => {
                 // Read back through the env so the session's queries and
                 // the `\set` knob agree on one source of truth.
                 std::env::set_var(CONF_EXACT_LIMIT_ENV, n.to_string());
                 println!("conf_exact_limit = {}", conf_exact_limit_from_env());
             }
+            (Some("cost_opt"), Some(v @ ("on" | "off")), _) => {
+                // Same one-source-of-truth pattern: the planner reads the
+                // env on every compile, so toggling it here takes effect
+                // for the very next statement.
+                std::env::set_var(COST_OPT_ENV, if v == "on" { "1" } else { "0" });
+                println!(
+                    "cost_opt = {}",
+                    if cost_opt_enabled() { "on" } else { "off" }
+                );
+            }
             _ => println!(
                 "usage: \\set threads <N>   (N >= 1)\n       \
-                 \\set conf_exact_limit <N>   (0 forces sampling)"
+                 \\set conf_exact_limit <N>   (0 forces sampling)\n       \
+                 \\set cost_opt on|off   (cost-based join reordering)"
             ),
         }
     }
@@ -431,9 +446,10 @@ impl Session {
         let Some(s) = &self.last_stats else {
             println!("no query executed yet");
             println!(
-                "session settings: threads = {}, conf_exact_limit = {}",
+                "session settings: threads = {}, conf_exact_limit = {}, cost_opt = {}",
                 self.threads,
-                conf_exact_limit_from_env()
+                conf_exact_limit_from_env(),
+                if cost_opt_enabled() { "on" } else { "off" }
             );
             return;
         };
@@ -482,6 +498,12 @@ impl Session {
             );
         }
         println!("  output:          {} rows", s.output_rows);
+        println!(
+            "session settings: threads = {}, conf_exact_limit = {}, cost_opt = {}",
+            self.threads,
+            conf_exact_limit_from_env(),
+            if cost_opt_enabled() { "on" } else { "off" }
+        );
     }
 
     fn describe(&self) {
@@ -553,6 +575,7 @@ fn help() {
          \\trace last <file> export the last trace as Chrome trace JSON\n  \
          \\set threads <N>  worker-thread budget for query execution\n  \
          \\set conf_exact_limit <N>  cost cutover for CONF(eps, delta); 0 forces sampling\n  \
+         \\set cost_opt on|off  cost-based join reordering (initially MAYBMS_COST_OPT)\n  \
          \\help    this help\n  \
          \\q       quit"
     );
