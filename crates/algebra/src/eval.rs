@@ -25,17 +25,45 @@
 //! * **NaturalJoin** builds a flat `ChainedIndex` over the build side's
 //!   key columns (hashing cells in place — no key tuples), probes with the
 //!   left key cells, verifies candidates column-wise, conjoins descriptors
-//!   through the pool, and then materializes the output **column at a time**
-//!   with two gathers (left row ids, right row ids) — the only point where
-//!   data moves, and it moves as contiguous typed vectors.
+//!   through the pool, and emits **late-materialized** output columns: each
+//!   output column is the input column plus a shared rowid indirection
+//!   (`LazyCol`), so the join moves no cell data at all.
 //! * **Union** concatenates column-wise (a dense `memcpy`-style extend when
-//!   no selection is pending) and dedups via a fresh selection vector.
-//! * **Dedup** (after project/join/union) hashes rows cell-wise into a
-//!   `ChainedIndex` and emits the selection vector of first occurrences —
-//!   it never rebuilds columns.
+//!   no selection or indirection is pending) and dedups via a fresh
+//!   selection vector.
+//! * **Dedup** (after project/join/union) hashes rows cell-wise — reading
+//!   through the rowid views — into a `ChainedIndex` and emits the
+//!   selection vector of first occurrences; it never rebuilds columns.
+//!
+//! # Late materialization
+//!
+//! A join output column is a `LazyCol`: the input column plus an optional
+//! `Arc`'d rowid vector (virtual row `i` lives at physical row `ids[i]`).
+//! Stacked joins *compose* indirections (memoized per distinct input
+//! vector) instead of gathering, so a k-way join chain performs **one**
+//! gather per source column — fused with the pending selection vector at
+//! the next pipeline breaker (`Batch::into_dense_parts`: union inputs,
+//! extension-operator inputs, the final emit) — instead of k. All sweeps
+//! (predicates, row hashing, join keys) read through [`ColView`]s, which
+//! fold the indirection per cell access. `MAYBMS_LATE_MAT=0` restores
+//! eager per-join gathers; results are byte-identical either way.
+//!
+//! # Sideways information passing (SIP)
+//!
+//! When a join's build (right) side turns out small (its *actual* row
+//! count, known at runtime, is at most the [`crate::sip`] cutoff) and the
+//! mint guard allows evaluating it first, the join builds a
+//! [`BlockedBloom`] over the build side's key cells and registers it
+//! against a node of the probe subtree (chosen by `sip_target` in [`crate::sip`]);
+//! when that node's batch is produced, rows whose key cells cannot match
+//! any build row are pruned before they flow any further. False positives
+//! only keep rows the join itself drops, and pruning is class-closed under
+//! set-semantics dedup, so results are byte-identical with `MAYBMS_SIP=0`
+//! or `1`. Filters cascade: a pruned build side seeds the next filter down
+//! a join chain.
 //!
 //! Schemas are validated once per operator when the output schema is
-//! derived. Extension operators (`repair-key`, `conf`, …) now speak the
+//! derived. Extension operators (`repair-key`, `conf`, …) speak the
 //! columnar ABI too: [`crate::ext::ExtOperator::eval`] receives and returns
 //! [`ColumnarURelation`]s whose descriptors/strings live in the context's
 //! pools. Only the final result is converted back to a row-oriented
@@ -46,7 +74,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{BuildHasher, Hasher};
 use std::sync::Arc;
 
-use maybms_core::columnar::{ColumnVec, ColumnarURelation, StrPool};
+use maybms_core::bloom::BlockedBloom;
+use maybms_core::columnar::{ColView, ColumnVec, ColumnarURelation, StrPool};
 use maybms_core::intern::ShardDelta;
 use maybms_core::obs::{metrics, ObsCounters, QueryTrace, SpanId, Tracer};
 use maybms_core::parallel::{chunk_ranges, run_tasks};
@@ -56,6 +85,54 @@ use maybms_core::{
 };
 
 use crate::plan::Plan;
+use crate::sip::{plan_mints, shared_key_names, sip_target, SipFilter, SipStats, SIP_K};
+
+/// Environment knob gating sideways information passing: any value other
+/// than `0` (including unset) enables it.
+pub const SIP_ENV: &str = "MAYBMS_SIP";
+
+/// Environment knob gating late materialization: any value other than `0`
+/// (including unset) enables it.
+pub const LATE_MAT_ENV: &str = "MAYBMS_LATE_MAT";
+
+/// `true` unless the environment variable is set to `0` (on-by-default
+/// knob convention, matching `MAYBMS_COST_OPT`).
+fn env_on(key: &str) -> bool {
+    std::env::var(key).map_or(true, |v| v.trim() != "0")
+}
+
+/// The executor's run configuration: the thread budget plus the execution
+/// knobs. [`ExecCfg::from_env`] reads everything from the environment
+/// (`MAYBMS_THREADS`, [`SIP_ENV`], [`LATE_MAT_ENV`]); every knob
+/// combination produces byte-identical results — the knobs trade time, not
+/// answers.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecCfg {
+    /// Worker-thread budget (see [`ParCfg`]).
+    pub par: ParCfg,
+    /// Sideways information passing: push Bloom filters from selective join
+    /// build sides into probe subtrees.
+    pub sip: bool,
+    /// Late materialization: join outputs carry rowid indirections; gathers
+    /// are fused at pipeline breakers.
+    pub late_mat: bool,
+}
+
+impl ExecCfg {
+    /// Read the whole configuration from the environment.
+    pub fn from_env() -> ExecCfg {
+        ExecCfg::with_par(ParCfg::from_env())
+    }
+
+    /// An explicit thread budget with the knobs from the environment.
+    pub fn with_par(par: ParCfg) -> ExecCfg {
+        ExecCfg {
+            par,
+            sip: env_on(SIP_ENV),
+            late_mat: env_on(LATE_MAT_ENV),
+        }
+    }
+}
 
 /// Evaluation context handed to operators: the base relations (read-only),
 /// the component set (mutable, so extension operators like `repair-key` can
@@ -85,6 +162,10 @@ pub struct EvalCtx<'a> {
     /// under [`run_traced`]; extension operators may record sub-phase
     /// events through it ([`Tracer::now`] / [`Tracer::event`]).
     pub tracer: Tracer,
+    /// Whether sideways information passing is enabled for this run.
+    pub sip: bool,
+    /// Whether join outputs are late-materialized for this run.
+    pub late_mat: bool,
     /// Memoized results of extension operators, keyed by `Arc` identity.
     /// A shared (cloned) `repair-key` subtree must evaluate *once* per run:
     /// re-running it would mint fresh components for each occurrence and
@@ -93,37 +174,58 @@ pub struct EvalCtx<'a> {
     /// Dedup sweeps skipped because a plan property proved them redundant
     /// (surfaced through [`ExecStats::dedups_elided`]).
     dedups_elided: usize,
+    /// SIP filters pending application, keyed by target plan-node address
+    /// (plan children are boxed, so node addresses are stable and unique
+    /// for the duration of a run). Several joins may target the same node.
+    sip_filters: FxHashMap<usize, Vec<SipFilter>>,
+    /// SIP counters accumulated across the run.
+    sip_stats: SipStats,
 }
 
 impl<'a> EvalCtx<'a> {
     /// Build a fresh context (with an empty extension-operator memo and
-    /// fresh interning pools). The thread budget comes from the environment
-    /// ([`ParCfg::from_env`]); use [`EvalCtx::with_par`] to pass one
+    /// fresh interning pools). The thread budget and execution knobs come
+    /// from the environment ([`ExecCfg::from_env`]); use
+    /// [`EvalCtx::with_par`] or [`EvalCtx::with_exec`] to pass them
     /// explicitly.
     pub fn new(
         relations: &'a BTreeMap<String, URelation>,
         components: &'a mut ComponentSet,
     ) -> Self {
-        EvalCtx::with_par(relations, components, ParCfg::from_env())
+        EvalCtx::with_exec(relations, components, ExecCfg::from_env())
     }
 
-    /// [`EvalCtx::new`] with an explicit parallelism configuration.
+    /// [`EvalCtx::new`] with an explicit parallelism configuration (the
+    /// other execution knobs come from the environment).
     pub fn with_par(
         relations: &'a BTreeMap<String, URelation>,
         components: &'a mut ComponentSet,
         par: ParCfg,
+    ) -> Self {
+        EvalCtx::with_exec(relations, components, ExecCfg::with_par(par))
+    }
+
+    /// [`EvalCtx::new`] with an explicit execution configuration.
+    pub fn with_exec(
+        relations: &'a BTreeMap<String, URelation>,
+        components: &'a mut ComponentSet,
+        cfg: ExecCfg,
     ) -> Self {
         EvalCtx {
             relations,
             components,
             pool: DescriptorPool::new(),
             strings: StrPool::new(),
-            par,
+            par: cfg.par,
             par_stats: ParStats::default(),
             conf_stats: ConfStats::default(),
             tracer: Tracer::disabled(),
+            sip: cfg.sip,
+            late_mat: cfg.late_mat,
             ext_cache: FxHashMap::default(),
             dedups_elided: 0,
+            sip_filters: FxHashMap::default(),
+            sip_stats: SipStats::default(),
         }
     }
 
@@ -191,6 +293,9 @@ pub struct ExecStats {
     /// Confidence-solver counters: groups solved exactly vs. by sampling,
     /// total draws, largest connected group seen.
     pub conf: ConfStats,
+    /// Sideways-information-passing counters: filters built, probe rows
+    /// tested and pruned.
+    pub sip: SipStats,
 }
 
 impl ExecStats {
@@ -209,6 +314,9 @@ impl ExecStats {
         m.conf_exact_groups_total.add(self.conf.exact_groups);
         m.conf_sampled_groups_total.add(self.conf.sampled_groups);
         m.conf_samples_drawn_total.add(self.conf.samples_drawn);
+        m.sip_filters_built_total.add(self.sip.filters_built);
+        m.sip_rows_tested_total.add(self.sip.probe_rows_tested);
+        m.sip_rows_pruned_total.add(self.sip.probe_rows_pruned);
     }
 }
 
@@ -300,14 +408,51 @@ impl Iterator for RowIds<'_> {
     }
 }
 
+/// One output column of a batch: the stored column plus an optional shared
+/// rowid indirection — *virtual* row `i` lives at *physical* row `ids[i]`.
+/// A join emits its output columns as the input columns plus the match-list
+/// indirection (composing with any indirection already present, memoized
+/// per distinct input vector) instead of gathering; the single fused gather
+/// happens at the next pipeline breaker ([`Batch::into_dense_parts`]).
+/// The id vectors are `Arc`'d because every left (resp. right-kept) column
+/// of a join shares one vector, and because batches must stay `Sync` for
+/// the morsel-parallel sweeps.
+struct LazyCol<'s> {
+    /// The stored cells. Dense columns have one cell per virtual row;
+    /// indirected columns are addressed through `ids`.
+    col: Cow<'s, ColumnVec>,
+    /// The virtual→physical rowid map, `None` when the column is dense.
+    /// When present, `ids.len()` equals the batch's virtual row count.
+    ids: Option<Arc<Vec<u32>>>,
+}
+
+impl<'s> LazyCol<'s> {
+    /// A column with no indirection.
+    fn dense(col: Cow<'s, ColumnVec>) -> LazyCol<'s> {
+        LazyCol { col, ids: None }
+    }
+
+    /// A cell-addressable view folding the indirection (the read handle
+    /// every sweep goes through).
+    #[inline]
+    fn view(&self) -> ColView<'_> {
+        ColView::with_ids(&self.col, self.ids.as_deref().map(Vec::as_slice))
+    }
+}
+
 /// The executor's unit of data flow: columnar storage (borrowed from the
-/// per-run scan conversions until an operator materializes new columns)
-/// plus an optional selection vector restricting which rows are live.
+/// per-run scan conversions until an operator materializes new columns),
+/// per-column rowid indirections deferred by joins, plus an optional
+/// selection vector restricting which virtual rows are live.
 struct Batch<'s> {
     schema: Cow<'s, Schema>,
-    cols: Vec<Cow<'s, ColumnVec>>,
+    cols: Vec<LazyCol<'s>>,
+    /// Descriptor handles, always dense over the *virtual* rows (joins
+    /// materialize conjoined descriptors eagerly — they are single `u32`
+    /// handles, not cell data, so deferring them buys nothing).
     descs: Cow<'s, [DescId]>,
-    /// Live row ids, in output order. `None` means all rows `0..descs.len()`.
+    /// Live virtual row ids, in output order. `None` means all rows
+    /// `0..descs.len()`.
     sel: Option<Vec<u32>>,
 }
 
@@ -316,7 +461,11 @@ impl<'s> Batch<'s> {
     fn from_ref(rel: &'s ColumnarURelation) -> Batch<'s> {
         Batch {
             schema: Cow::Borrowed(rel.schema()),
-            cols: rel.columns().iter().map(Cow::Borrowed).collect(),
+            cols: rel
+                .columns()
+                .iter()
+                .map(|c| LazyCol::dense(Cow::Borrowed(c)))
+                .collect(),
             descs: Cow::Borrowed(rel.descs()),
             sel: None,
         }
@@ -327,7 +476,10 @@ impl<'s> Batch<'s> {
         let (schema, cols, descs) = rel.into_parts();
         Batch {
             schema: Cow::Owned(schema),
-            cols: cols.into_iter().map(Cow::Owned).collect(),
+            cols: cols
+                .into_iter()
+                .map(|c| LazyCol::dense(Cow::Owned(c)))
+                .collect(),
             descs: Cow::Owned(descs),
             sel: None,
         }
@@ -341,7 +493,7 @@ impl<'s> Batch<'s> {
         }
     }
 
-    /// The live row ids, in output order.
+    /// The live virtual row ids, in output order.
     fn row_ids(&self) -> RowIds<'_> {
         match &self.sel {
             Some(s) => RowIds::Sel(s.iter()),
@@ -355,7 +507,7 @@ impl<'s> Batch<'s> {
     fn row_hash(&self, i: u32, pool: &DescriptorPool) -> u64 {
         let mut h = FxBuildHasher::default().build_hasher();
         for c in &self.cols {
-            c.hash_cell(i as usize, &mut h);
+            c.view().hash_cell(i as usize, &mut h);
         }
         for &(c, a) in pool.terms(self.descs[i as usize]) {
             h.write_u32(c.0);
@@ -368,10 +520,10 @@ impl<'s> Batch<'s> {
     #[inline]
     fn rows_eq(&self, a: u32, b: u32, pool: &DescriptorPool) -> bool {
         pool.same_descriptor(self.descs[a as usize], self.descs[b as usize])
-            && self
-                .cols
-                .iter()
-                .all(|c| c.eq_cells(a as usize, c.as_ref(), b as usize))
+            && self.cols.iter().all(|c| {
+                let v = c.view();
+                v.eq_cells(a as usize, &v, b as usize)
+            })
     }
 
     /// Drop duplicate `(tuple, descriptor)` rows, keeping first occurrences
@@ -449,22 +601,50 @@ impl<'s> Batch<'s> {
         self.sel = Some(kept.into_iter().map(|p| rows[p as usize]).collect());
     }
 
-    /// Apply the selection vector, yielding dense owned columns and
-    /// descriptors. When no selection is pending, borrowed columns are
-    /// cloned (a contiguous `memcpy` per column) and owned ones move.
+    /// Apply the selection vector *and* every pending rowid indirection in
+    /// one fused pass, yielding dense owned columns and descriptors — the
+    /// pipeline breaker where deferred join gathers finally happen, once
+    /// per column. When nothing is pending, borrowed columns are cloned (a
+    /// contiguous `memcpy` per column) and owned ones move. Columns sharing
+    /// an id vector share the composed `sel ∘ ids` index (memoized by `Arc`
+    /// address).
     fn into_dense_parts(self) -> (Cow<'s, Schema>, Vec<ColumnVec>, Vec<DescId>) {
-        match self.sel {
-            None => (
-                self.schema,
-                self.cols.into_iter().map(Cow::into_owned).collect(),
-                self.descs.into_owned(),
-            ),
-            Some(sel) => (
-                self.schema,
-                self.cols.iter().map(|c| c.gather(&sel)).collect(),
-                sel.iter().map(|&i| self.descs[i as usize]).collect(),
-            ),
+        let Batch {
+            schema,
+            cols,
+            descs,
+            sel,
+        } = self;
+        if sel.is_none() && cols.iter().all(|c| c.ids.is_none()) {
+            return (
+                schema,
+                cols.into_iter().map(|c| c.col.into_owned()).collect(),
+                descs.into_owned(),
+            );
         }
+        let out_descs: Vec<DescId> = match &sel {
+            Some(s) => s.iter().map(|&i| descs[i as usize]).collect(),
+            None => descs.into_owned(),
+        };
+        let mut fused: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+        let out_cols = cols
+            .into_iter()
+            .map(|c| {
+                let LazyCol { col, ids } = c;
+                match (&sel, ids) {
+                    (None, None) => col.into_owned(),
+                    (Some(s), None) => col.gather(s),
+                    (None, Some(ids)) => col.gather(&ids),
+                    (Some(s), Some(ids)) => {
+                        let idx = fused
+                            .entry(Arc::as_ptr(&ids) as usize)
+                            .or_insert_with(|| s.iter().map(|&i| ids[i as usize]).collect());
+                        col.gather(idx)
+                    }
+                }
+            })
+            .collect();
+        (schema, out_cols, out_descs)
     }
 
     /// Materialize as a standalone columnar relation (descriptors and string
@@ -495,6 +675,19 @@ fn gather_par(col: &ColumnVec, idx: &[u32], workers: usize) -> ColumnVec {
     out
 }
 
+/// Eagerly gather `idx` (virtual rows) out of a possibly-indirected column
+/// — the `MAYBMS_LATE_MAT=0` join path, which folds any indirection already
+/// present into the index before gathering.
+fn gather_eager(c: &LazyCol<'_>, idx: &[u32], workers: usize) -> ColumnVec {
+    match &c.ids {
+        None => gather_par(&c.col, idx, workers),
+        Some(ids) => {
+            let folded: Vec<u32> = idx.iter().map(|&i| ids[i as usize]).collect();
+            gather_par(&c.col, &folded, workers)
+        }
+    }
+}
+
 /// Evaluate a plan against a world set. New components created by extension
 /// operators are added to `ws.components`; the base relations are untouched.
 ///
@@ -521,13 +714,30 @@ pub fn run_with_opts(ws: &mut WorldSet, plan: &Plan, par: &ParCfg) -> Result<URe
     run_with_stats_opts(ws, plan, par).map(|(result, _)| result)
 }
 
-/// [`run_with_stats`] with an explicit parallelism configuration.
+/// [`run_with_stats`] with an explicit parallelism configuration (the
+/// execution knobs still come from the environment).
 pub fn run_with_stats_opts(
     ws: &mut WorldSet,
     plan: &Plan,
     par: &ParCfg,
 ) -> Result<(URelation, ExecStats), MayError> {
-    run_impl(ws, plan, par, false).map(|(result, stats, _)| (result, stats))
+    run_with_stats_exec(ws, plan, &ExecCfg::with_par(*par))
+}
+
+/// [`run`] with a fully explicit execution configuration — the entry point
+/// the differential suites drive to pin byte-identical results across every
+/// `ExecCfg` combination.
+pub fn run_with_exec(ws: &mut WorldSet, plan: &Plan, cfg: &ExecCfg) -> Result<URelation, MayError> {
+    run_with_stats_exec(ws, plan, cfg).map(|(result, _)| result)
+}
+
+/// [`run_with_stats`] with a fully explicit execution configuration.
+pub fn run_with_stats_exec(
+    ws: &mut WorldSet,
+    plan: &Plan,
+    cfg: &ExecCfg,
+) -> Result<(URelation, ExecStats), MayError> {
+    run_impl(ws, plan, cfg, false).map(|(result, stats, _)| (result, stats))
 }
 
 /// [`run_with_stats_opts`] with per-node tracing enabled: additionally
@@ -541,14 +751,14 @@ pub fn run_traced(
     plan: &Plan,
     par: &ParCfg,
 ) -> Result<(URelation, ExecStats, QueryTrace), MayError> {
-    run_impl(ws, plan, par, true)
+    run_impl(ws, plan, &ExecCfg::with_par(*par), true)
         .map(|(result, stats, trace)| (result, stats, trace.expect("tracing was enabled")))
 }
 
 fn run_impl(
     ws: &mut WorldSet,
     plan: &Plan,
-    par: &ParCfg,
+    cfg: &ExecCfg,
     traced: bool,
 ) -> Result<(URelation, ExecStats, Option<QueryTrace>), MayError> {
     let started = std::time::Instant::now();
@@ -556,7 +766,7 @@ fn run_impl(
         components,
         relations,
     } = ws;
-    let mut ctx = EvalCtx::with_par(relations, components, *par);
+    let mut ctx = EvalCtx::with_exec(relations, components, *cfg);
     if traced {
         ctx.tracer = Tracer::enabled();
     }
@@ -600,6 +810,7 @@ fn run_impl(
         threads: ctx.par.threads,
         par: ctx.par_stats,
         conf: ctx.conf_stats,
+        sip: ctx.sip_stats,
     };
     stats.publish();
     let trace = traced.then(|| {
@@ -631,20 +842,110 @@ fn collect_scans<'p>(plan: &'p Plan, names: &mut BTreeSet<&'p str>) {
     }
 }
 
+/// Build a Bloom filter over `build`'s key cells and register it against
+/// the right node of the `probe` subtree, if this join qualifies for SIP:
+/// the build side's *actual* row count is within the cutoff, the sides
+/// share key columns, and the target descent succeeds. Called by the join
+/// arm after evaluating the build side, before evaluating the probe side.
+fn maybe_register_sip(probe: &Plan, build: &Batch<'_>, ctx: &mut EvalCtx<'_>) {
+    if build.len() > crate::sip::SIP_MAX_BUILD {
+        return;
+    }
+    let Ok(probe_schema) = probe.schema_with(ctx.relations) else {
+        return;
+    };
+    let keys = shared_key_names(&probe_schema, &build.schema);
+    if keys.is_empty() {
+        return;
+    }
+    let Some((target, target_keys)) = sip_target(probe, keys.clone(), ctx.relations) else {
+        return;
+    };
+    let Ok(target_schema) = target.schema_with(ctx.relations) else {
+        return;
+    };
+    let mut key_cols = Vec::with_capacity(target_keys.len());
+    for k in &target_keys {
+        match target_schema.col_index(k) {
+            Ok(i) => key_cols.push(i),
+            Err(_) => return,
+        }
+    }
+    // Hash every live build row's key cells — in `keys` order, the same
+    // order `apply_sip` hashes the probe cells — into the filter.
+    let mut build_views = Vec::with_capacity(keys.len());
+    for k in &keys {
+        match build.schema.col_index(k) {
+            Ok(i) => build_views.push(build.cols[i].view()),
+            Err(_) => return,
+        }
+    }
+    let mut bloom = BlockedBloom::with_capacity(build.len().max(1), SIP_K);
+    for ri in build.row_ids() {
+        let mut h = FxBuildHasher::default().build_hasher();
+        for v in &build_views {
+            v.hash_cell(ri as usize, &mut h);
+        }
+        bloom.insert(h.finish());
+    }
+    ctx.sip_filters
+        .entry(target as *const Plan as usize)
+        .or_default()
+        .push(SipFilter { bloom, key_cols });
+    ctx.sip_stats.filters_built += 1;
+}
+
+/// Apply any SIP filters registered against this plan node to its freshly
+/// produced batch: probe rows whose key-cell hash the filter rules out are
+/// dropped from the selection vector. Sequential by design — the sweep is a
+/// hash-and-test per row, and survivor order must match the unfiltered
+/// order exactly.
+fn apply_sip(plan: &Plan, b: &mut Batch<'_>, ctx: &mut EvalCtx<'_>) {
+    if ctx.sip_filters.is_empty() {
+        return;
+    }
+    let key = plan as *const Plan as usize;
+    let Some(filters) = ctx.sip_filters.remove(&key) else {
+        return;
+    };
+    for f in &filters {
+        let views: Vec<ColView<'_>> = f.key_cols.iter().map(|&c| b.cols[c].view()).collect();
+        let mut kept: Vec<u32> = Vec::with_capacity(b.len());
+        let tested = b.len() as u64;
+        for i in b.row_ids() {
+            let mut h = FxBuildHasher::default().build_hasher();
+            for v in &views {
+                v.hash_cell(i as usize, &mut h);
+            }
+            if f.bloom.may_contain(h.finish()) {
+                kept.push(i);
+            }
+        }
+        ctx.sip_stats.probe_rows_tested += tested;
+        ctx.sip_stats.probe_rows_pruned += tested - kept.len() as u64;
+        drop(views);
+        b.sel = Some(kept);
+    }
+}
+
 /// Span-wrapping entry for each plan node: the untraced path is a single
 /// branch on the tracer's enabled bool before delegating to
 /// [`eval_batch_inner`] — this is the whole per-node cost of having the
 /// tracer compiled in. The traced path opens a span labelled exactly like
 /// the `EXPLAIN` tree line (a memoized extension subtree is labelled
 /// `… (cached)` so the span tree reflects what actually executed) and
-/// charges the node the counter delta across its evaluation.
+/// charges the node the counter delta across its evaluation. Either path
+/// applies pending SIP filters to the node's output before it flows up (so
+/// a traced span's `rows_out` reflects the pruning).
 fn eval_batch<'s>(
     plan: &Plan,
     scans: &'s BTreeMap<String, ColumnarURelation>,
     ctx: &mut EvalCtx<'_>,
 ) -> Result<Batch<'s>, MayError> {
     if !ctx.tracer.is_enabled() {
-        return eval_batch_inner(plan, scans, ctx);
+        let mut b = eval_batch_inner(plan, scans, ctx)?;
+        apply_sip(plan, &mut b, ctx);
+        return Ok(b);
     }
     let mut label = plan.node_label();
     if let Plan::Ext(op) = plan {
@@ -654,7 +955,10 @@ fn eval_batch<'s>(
         }
     }
     let span = ctx.span_enter(label);
-    let result = eval_batch_inner(plan, scans, ctx);
+    let mut result = eval_batch_inner(plan, scans, ctx);
+    if let Ok(b) = result.as_mut() {
+        apply_sip(plan, b, ctx);
+    }
     let rows_out = result.as_ref().map(Batch::len).unwrap_or(0);
     ctx.span_exit(span, rows_out as u64);
     result
@@ -678,14 +982,15 @@ fn eval_batch_inner<'s>(
         }
         Plan::Select { input, predicate } => {
             let mut b = eval_batch(input, scans, ctx)?;
-            // Bound once per relation; the sweep below reads cells in place.
+            // Bound once per relation; the sweep below reads cells in place
+            // through the rowid views.
             let bound = predicate.bind(&b.schema)?;
-            let col_refs: Vec<&ColumnVec> = b.cols.iter().map(Cow::as_ref).collect();
+            let views: Vec<ColView<'_>> = b.cols.iter().map(LazyCol::view).collect();
             let workers = ctx.par.workers_for(b.len());
             let strings = &ctx.strings;
             let sel: Vec<u32> = if workers <= 1 {
                 b.row_ids()
-                    .filter(|&i| bound.matches_cols(&col_refs, i as usize, strings))
+                    .filter(|&i| bound.matches_views(&views, i as usize, strings))
                     .collect()
             } else {
                 // Morsel-parallel sweep: each task filters a contiguous
@@ -698,12 +1003,12 @@ fn eval_batch_inner<'s>(
                     rows[morsels[t].clone()]
                         .iter()
                         .copied()
-                        .filter(|&i| bound.matches_cols(&col_refs, i as usize, strings))
+                        .filter(|&i| bound.matches_views(&views, i as usize, strings))
                         .collect::<Vec<_>>()
                 })
                 .concat()
             };
-            drop(col_refs);
+            drop(views);
             b.sel = Some(sel);
             Ok(b)
         }
@@ -717,7 +1022,7 @@ fn eval_batch_inner<'s>(
             // A pure column-pointer shuffle: each output column *moves* the
             // input's reference (projection indices are unique, so every
             // source column is taken at most once — no data is copied).
-            let mut taken: Vec<Option<Cow<'s, ColumnVec>>> = b.cols.into_iter().map(Some).collect();
+            let mut taken: Vec<Option<LazyCol<'s>>> = b.cols.into_iter().map(Some).collect();
             let cols = idx
                 .iter()
                 .map(|&i| taken[i].take().expect("projection indices are unique"))
@@ -736,14 +1041,29 @@ fn eval_batch_inner<'s>(
             Ok(out)
         }
         Plan::NaturalJoin { left, right } => {
-            let l = eval_batch(left, scans, ctx)?;
-            let r = eval_batch(right, scans, ctx)?;
+            // SIP: when the mint guard allows reordering, evaluate the
+            // build (right) side first and — if it turns out selective —
+            // push a Bloom filter over its key cells into the probe
+            // subtree before the probe side runs at all.
+            let sip_ok = ctx.sip && !(plan_mints(left) && plan_mints(right));
+            let (l, r) = if sip_ok {
+                let r = eval_batch(right, scans, ctx)?;
+                maybe_register_sip(left, &r, ctx);
+                let l = eval_batch(left, scans, ctx)?;
+                (l, r)
+            } else {
+                let l = eval_batch(left, scans, ctx)?;
+                let r = eval_batch(right, scans, ctx)?;
+                (l, r)
+            };
             let jp = l.schema.natural_join(&r.schema)?;
+            let l_views: Vec<ColView<'_>> = l.cols.iter().map(LazyCol::view).collect();
+            let r_views: Vec<ColView<'_>> = r.cols.iter().map(LazyCol::view).collect();
             let hasher = FxBuildHasher::default();
-            let key_hash = |b: &Batch<'_>, row: u32, side: fn(&(usize, usize)) -> usize| {
+            let key_hash = |views: &[ColView<'_>], row: u32, side: fn(&(usize, usize)) -> usize| {
                 let mut h = hasher.build_hasher();
                 for s in &jp.shared {
-                    b.cols[side(s)].hash_cell(row as usize, &mut h);
+                    views[side(s)].hash_cell(row as usize, &mut h);
                 }
                 h.finish()
             };
@@ -758,17 +1078,17 @@ fn eval_batch_inner<'s>(
             if workers <= 1 {
                 let mut built = ChainedIndex::with_capacity(r_rows.len());
                 for (slot, &ri) in r_rows.iter().enumerate() {
-                    built.insert(key_hash(&r, ri, |&(_, rc)| rc), slot);
+                    built.insert(key_hash(&r_views, ri, |&(_, rc)| rc), slot);
                 }
                 // Probe with the left key cells; verify candidates
                 // column-wise. Matches are collected as (left row, right
-                // row, descriptor) and the output columns are materialized
-                // afterwards, column at a time, by two vectorized gathers.
+                // row, descriptor); the output columns are the input
+                // columns plus these match lists as rowid indirections.
                 for li in l.row_ids() {
-                    for slot in built.probe(key_hash(&l, li, |&(lc, _)| lc)) {
+                    for slot in built.probe(key_hash(&l_views, li, |&(lc, _)| lc)) {
                         let ri = r_rows[slot];
                         let keys_match = jp.shared.iter().all(|&(lc, rc)| {
-                            l.cols[lc].eq_cells(li as usize, &r.cols[rc], ri as usize)
+                            l_views[lc].eq_cells(li as usize, &r_views[rc], ri as usize)
                         });
                         if !keys_match {
                             continue; // hash collision, not an equi-match
@@ -801,7 +1121,7 @@ fn eval_batch_inner<'s>(
                 let r_hashes: Vec<u64> = run_tasks(workers, build_morsels.len(), |t| {
                     r_rows[build_morsels[t].clone()]
                         .iter()
-                        .map(|&ri| key_hash(&r, ri, |&(_, rc)| rc))
+                        .map(|&ri| key_hash(&r_views, ri, |&(_, rc)| rc))
                         .collect::<Vec<_>>()
                 })
                 .concat();
@@ -831,13 +1151,13 @@ fn eval_batch_inner<'s>(
                     let mut r_v: Vec<u32> = Vec::new();
                     let mut d_v: Vec<DescId> = Vec::new();
                     for &li in &l_rows[probe_morsels[t].clone()] {
-                        let h = key_hash(&l, li, |&(lc, _)| lc);
+                        let h = key_hash(&l_views, li, |&(lc, _)| lc);
                         let pi = (h >> shift) as usize;
                         let members = &parted[pi];
                         for k in indexes[pi].probe(h) {
                             let ri = r_rows[members[k] as usize];
                             let keys_match = jp.shared.iter().all(|&(lc, rc)| {
-                                l.cols[lc].eq_cells(li as usize, &r.cols[rc], ri as usize)
+                                l_views[lc].eq_cells(li as usize, &r_views[rc], ri as usize)
                             });
                             if !keys_match {
                                 continue; // hash collision, not an equi-match
@@ -870,12 +1190,47 @@ fn eval_batch_inner<'s>(
                 ctx.par_stats
                     .note_merge(entries, started.elapsed().as_nanos() as u64);
             }
-            let mut cols: Vec<Cow<'s, ColumnVec>> = Vec::with_capacity(jp.schema.arity());
-            for c in &l.cols {
-                cols.push(Cow::Owned(gather_par(c, &l_idx, workers)));
-            }
-            for &rc in &jp.right_keep {
-                cols.push(Cow::Owned(gather_par(&r.cols[rc], &r_idx, workers)));
+            drop(l_views);
+            drop(r_views);
+            let mut cols: Vec<LazyCol<'s>> = Vec::with_capacity(jp.schema.arity());
+            if ctx.late_mat {
+                // Late materialization: the output columns are the input
+                // columns plus the match lists as shared rowid
+                // indirections. An indirection already present composes —
+                // once per distinct input vector, not per column.
+                let l_ids = Arc::new(l_idx);
+                let r_ids = Arc::new(r_idx);
+                let mut memo: FxHashMap<(usize, usize), Arc<Vec<u32>>> = FxHashMap::default();
+                let mut compose = |old: &Option<Arc<Vec<u32>>>, new: &Arc<Vec<u32>>| match old {
+                    None => Arc::clone(new),
+                    Some(o) => Arc::clone(
+                        memo.entry((Arc::as_ptr(o) as usize, Arc::as_ptr(new) as usize))
+                            .or_insert_with(|| {
+                                Arc::new(new.iter().map(|&i| o[i as usize]).collect())
+                            }),
+                    ),
+                };
+                for c in l.cols {
+                    let ids = Some(compose(&c.ids, &l_ids));
+                    cols.push(LazyCol { col: c.col, ids });
+                }
+                let mut r_taken: Vec<Option<LazyCol<'s>>> = r.cols.into_iter().map(Some).collect();
+                for &rc in &jp.right_keep {
+                    let c = r_taken[rc].take().expect("right_keep indices are unique");
+                    let ids = Some(compose(&c.ids, &r_ids));
+                    cols.push(LazyCol { col: c.col, ids });
+                }
+            } else {
+                for c in &l.cols {
+                    cols.push(LazyCol::dense(Cow::Owned(gather_eager(c, &l_idx, workers))));
+                }
+                for &rc in &jp.right_keep {
+                    cols.push(LazyCol::dense(Cow::Owned(gather_eager(
+                        &r.cols[rc],
+                        &r_idx,
+                        workers,
+                    ))));
+                }
             }
             let mut out = Batch {
                 schema: Cow::Owned(jp.schema),
@@ -902,26 +1257,38 @@ fn eval_batch_inner<'s>(
             let r = eval_batch(right, scans, ctx)?;
             l.schema.union_compatible(&r.schema)?;
             // Concatenate column-wise: densify the left side (moves owned
-            // columns, memcpys borrowed ones), then append the right side's
-            // live rows per column.
+            // columns, memcpys borrowed ones, fuses pending gathers), then
+            // append the right side's live rows per column — folding any
+            // right-side indirection into the extend index (memoized per
+            // distinct id vector).
             let (schema, mut cols, mut descs) = l.into_dense_parts();
+            let mut fused: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+            for (c, rc) in cols.iter_mut().zip(&r.cols) {
+                match (&r.sel, &rc.ids) {
+                    (None, None) => c.extend_all(&rc.col),
+                    (Some(sel), None) => c.extend_gather(&rc.col, sel),
+                    (sel, Some(ids)) => {
+                        let idx =
+                            fused
+                                .entry(Arc::as_ptr(ids) as usize)
+                                .or_insert_with(|| match sel {
+                                    Some(s) => s.iter().map(|&i| ids[i as usize]).collect(),
+                                    None => ids.as_ref().clone(),
+                                });
+                        c.extend_gather(&rc.col, idx);
+                    }
+                }
+            }
             match &r.sel {
-                Some(sel) => {
-                    for (c, rc) in cols.iter_mut().zip(&r.cols) {
-                        c.extend_gather(rc, sel);
-                    }
-                    descs.extend(sel.iter().map(|&i| r.descs[i as usize]));
-                }
-                None => {
-                    for (c, rc) in cols.iter_mut().zip(&r.cols) {
-                        c.extend_all(rc);
-                    }
-                    descs.extend_from_slice(&r.descs);
-                }
+                Some(sel) => descs.extend(sel.iter().map(|&i| r.descs[i as usize])),
+                None => descs.extend_from_slice(&r.descs),
             }
             let mut out = Batch {
                 schema,
-                cols: cols.into_iter().map(Cow::Owned).collect(),
+                cols: cols
+                    .into_iter()
+                    .map(|c| LazyCol::dense(Cow::Owned(c)))
+                    .collect(),
                 descs: Cow::Owned(descs),
                 sel: None,
             };

@@ -158,6 +158,18 @@ pub trait ExtOperator: fmt::Debug + Send + Sync {
         None
     }
 
+    /// Whether evaluating this operator may mint new components into the
+    /// world set. Component minting is the *only* order-observable side
+    /// effect of evaluation (component ids are numbered in minting order),
+    /// so the executor consults this before reordering sibling subtree
+    /// evaluation — e.g. building a sideways-passed Bloom filter from the
+    /// join's build side before evaluating the probe side. The default is
+    /// conservatively `true`; pure operators (`possible`, `certain`,
+    /// `conf`) override to `false`.
+    fn mints_components(&self) -> bool {
+        true
+    }
+
     /// The operator's input plans, evaluated before [`ExtOperator::eval`] is
     /// called.
     fn inputs(&self) -> Vec<&Plan>;

@@ -49,13 +49,15 @@ pub mod naive;
 pub mod optimize;
 pub mod plan;
 pub mod predicate;
+pub mod sip;
 
 pub use cost::{estimate_preorder, plan_cost, CardEst, StatsProvider};
 pub use eval::{
-    infer_schema, run, run_traced, run_with_opts, run_with_stats, run_with_stats_opts, EvalCtx,
-    ExecStats,
+    infer_schema, run, run_traced, run_with_exec, run_with_opts, run_with_stats,
+    run_with_stats_exec, run_with_stats_opts, EvalCtx, ExecCfg, ExecStats, LATE_MAT_ENV, SIP_ENV,
 };
 pub use ext::{ExtOperator, ExtProps};
 pub use optimize::{optimize, optimize_with_stats, PlanProps, SchemaProvider};
 pub use plan::Plan;
 pub use predicate::{col, lit, CmpOp, Operand, Predicate};
+pub use sip::{exec_order, sip_decisions, SipStats};

@@ -18,6 +18,12 @@
 //!   2.0): sub-tolerance *and* sub-slack differences never fail, so
 //!   micro-benchmarks in the quick CI mode don't flap on scheduler noise.
 //!
+//! Current rows additionally carry `"rows_per_sec"`, the derived throughput
+//! the bench emits for downstream dashboards; the gate cross-validates it
+//! against `rows_out`/`millis` (within 1%) and fails when the current run
+//! omits it or lets it drift — derived fields must never silently
+//! contradict their inputs. Baseline rows predating the field are accepted.
+//!
 //! A baseline row may additionally carry `"tol":<percent>`, a per-workload
 //! override of the global tolerance. The parallel-phase rows use it: their
 //! timings are entirely a function of the host's core count (a `_t4` row
@@ -46,8 +52,34 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
+/// Validate the derived `"rows_per_sec"` on one row: it must be present
+/// and reproduce `rows_out / millis · 10³` (both fields as printed) to
+/// within 1% — the bench derives it from the same two numbers, so any
+/// larger drift means the emitter and its inputs disagree.
+fn check_rows_per_sec(path: &str, line: &str, rows_out: u64, millis: f64) -> Result<(), String> {
+    let rps: f64 = field(line, "rows_per_sec")
+        .ok_or_else(|| format!("{path}: line missing \"rows_per_sec\": {line}"))?
+        .parse()
+        .map_err(|e| format!("{path}: bad \"rows_per_sec\" in {line}: {e}"))?;
+    let expect = if millis > 0.0 {
+        rows_out as f64 / millis * 1e3
+    } else {
+        0.0
+    };
+    if (rps - expect).abs() <= expect.abs() * 0.01 + 0.1 {
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: \"rows_per_sec\" {rps} contradicts rows_out/millis \
+             (expected {expect:.1}): {line}"
+        ))
+    }
+}
+
 /// Parse a bench JSONL file; later rows overwrite earlier rows per key.
-fn parse(path: &str) -> Result<Rows, String> {
+/// With `require_rps`, every row must carry a consistent `"rows_per_sec"`
+/// (the current run; baseline rows may predate the field).
+fn parse(path: &str, require_rps: bool) -> Result<Rows, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = Rows::new();
     for line in text.lines() {
@@ -68,6 +100,9 @@ fn parse(path: &str) -> Result<Rows, String> {
         let n = parse_num("n")? as u64;
         let rows_out = parse_num("rows_out")? as u64;
         let millis = parse_num("millis")?;
+        if require_rps {
+            check_rows_per_sec(path, line, rows_out, millis)?;
+        }
         let tol = field(line, "tol").and_then(|t| t.parse::<f64>().ok());
         out.insert((bench, n), (rows_out, millis, tol));
     }
@@ -87,7 +122,7 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_check <baseline.json> <current.json>");
         return ExitCode::from(2);
     }
-    let (baseline, current) = match (parse(&args[1]), parse(&args[2])) {
+    let (baseline, current) = match (parse(&args[1], false), parse(&args[2], true)) {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("bench_check: {e}");
@@ -167,6 +202,25 @@ mod tests {
         assert_eq!(field(line, "n"), Some("1000"));
         assert_eq!(field(line, "millis"), Some("1.186"));
         assert_eq!(field(line, "absent"), None);
+    }
+
+    #[test]
+    fn rows_per_sec_must_be_present_and_consistent() {
+        let good =
+            r#"{"bench":"join3","n":1000,"rows_out":1051,"millis":1.186,"rows_per_sec":886172.0}"#;
+        assert!(check_rows_per_sec("t", good, 1051, 1.186).is_ok());
+        let missing = r#"{"bench":"join3","n":1000,"rows_out":1051,"millis":1.186}"#;
+        assert!(check_rows_per_sec("t", missing, 1051, 1.186)
+            .unwrap_err()
+            .contains("missing \"rows_per_sec\""));
+        let drifted =
+            r#"{"bench":"join3","n":1000,"rows_out":1051,"millis":1.186,"rows_per_sec":12345.0}"#;
+        assert!(check_rows_per_sec("t", drifted, 1051, 1.186)
+            .unwrap_err()
+            .contains("contradicts"));
+        // Instantaneous rows print 0.000 ms with a zero throughput.
+        let instant = r#"{"bench":"x","n":1,"rows_out":5,"millis":0.000,"rows_per_sec":0.0}"#;
+        assert!(check_rows_per_sec("t", instant, 5, 0.0).is_ok());
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! uncertainty constructs (`repair-key`, `possible`, `certain`, `conf`) live
 //! in `maybms-ql`.
 
+pub mod bloom;
 pub mod columnar;
 pub mod component;
 pub mod descriptor;
@@ -72,7 +73,8 @@ pub mod urel;
 pub mod value;
 pub mod world;
 
-pub use columnar::{ColumnData, ColumnVec, ColumnarURelation, StrPool};
+pub use bloom::BlockedBloom;
+pub use columnar::{ColView, ColumnData, ColumnVec, ColumnarURelation, StrPool};
 pub use component::{connected_groups, Component, ComponentSet, ConfStats, WorldPick};
 pub use descriptor::{ComponentId, WsDescriptor};
 pub use error::MayError;

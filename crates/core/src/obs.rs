@@ -622,6 +622,12 @@ pub struct Metrics {
     /// integer buckets resolve sub-10% mis-estimates; 1000 = perfect).
     /// Fed by `EXPLAIN ANALYZE`, which is where estimates meet actuals.
     pub plan_q_error_milli: Histogram,
+    /// Bloom filters built for sideways information passing.
+    pub sip_filters_built_total: Counter,
+    /// Probe-side rows tested against a pushed-down SIP Bloom filter.
+    pub sip_rows_tested_total: Counter,
+    /// Probe-side rows pruned by a SIP Bloom filter before reaching a join.
+    pub sip_rows_pruned_total: Counter,
 }
 
 impl Metrics {
@@ -630,7 +636,7 @@ impl Metrics {
     /// histograms.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 11] = [
+        let counters: [(&str, &Counter); 14] = [
             ("maybms_queries_total", &self.queries_total),
             ("maybms_query_rows_total", &self.query_rows_total),
             ("maybms_par_tasks_total", &self.par_tasks_total),
@@ -660,6 +666,12 @@ impl Metrics {
                 &self.conf_samples_drawn_total,
             ),
             ("maybms_normalize_runs_total", &self.normalize_runs_total),
+            (
+                "maybms_sip_filters_built_total",
+                &self.sip_filters_built_total,
+            ),
+            ("maybms_sip_rows_tested_total", &self.sip_rows_tested_total),
+            ("maybms_sip_rows_pruned_total", &self.sip_rows_pruned_total),
         ];
         for (name, c) in counters {
             out.push_str(&format!("{name} {}\n", c.get()));

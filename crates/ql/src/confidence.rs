@@ -149,6 +149,12 @@ impl ExtOperator for Conf {
         }
     }
 
+    fn mints_components(&self) -> bool {
+        // Pure: reads component probabilities (sampling streams are
+        // content-keyed), never creates components.
+        false
+    }
+
     fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
         match &self.approx {
             None => Some(format!("SELECT CONF * FROM {}", inputs[0])),

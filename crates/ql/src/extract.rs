@@ -47,6 +47,10 @@ impl ExtOperator for Possible {
         Some(format!("SELECT POSSIBLE * FROM {}", inputs[0]))
     }
 
+    fn mints_components(&self) -> bool {
+        false // pure: reads descriptors, never creates components
+    }
+
     fn props(&self) -> ExtProps {
         ExtProps {
             // π commutes with ∃-world semantics: a projected tuple occurs
@@ -114,6 +118,10 @@ impl ExtOperator for Certain {
 
     fn unparse_mayql(&self, inputs: &[String]) -> Option<String> {
         Some(format!("SELECT CERTAIN * FROM {}", inputs[0]))
+    }
+
+    fn mints_components(&self) -> bool {
+        false // pure: consults component coverage, never creates components
     }
 
     fn props(&self) -> ExtProps {

@@ -1,0 +1,337 @@
+//! A catalog-keyed LRU cache of optimized plans.
+//!
+//! Compiling a MayQL statement — parse, semantic analysis, logical rewrite
+//! fixpoint, cost-based join reordering — costs far more than a hash
+//! lookup, and interactive sessions re-issue the same statements (often
+//! verbatim, or differing only in whitespace). [`PlanCache`] memoizes the
+//! *optimized* plan keyed on three things, any of which invalidates the
+//! entry by missing instead of matching:
+//!
+//! * the **normalized query text** ([`normalize_query`]: whitespace
+//!   collapsed outside string literals — no case folding, so identifier
+//!   case is respected);
+//! * the **knob fingerprint** — the planner-relevant environment knobs
+//!   (`MAYBMS_COST_OPT`, `MAYBMS_SIP`, `MAYBMS_LATE_MAT`,
+//!   `MAYBMS_CONF_EXACT_LIMIT`), because a knob flip can change what the
+//!   optimizer emits or pins into the plan;
+//! * the **catalog fingerprint** ([`crate::Catalog::fingerprint`]) — names,
+//!   schemas, and statistics, because statistics drive the cost-based
+//!   phase.
+//!
+//! Entries also carry the plan's pre-order cardinality estimates, and the
+//! cache accepts *observed* per-node row counts back
+//! ([`PlanCache::note_observed`], fed from `EXPLAIN ANALYZE`): the next hit
+//! on that entry serves estimates scaled by the observed q-error, **once**
+//! — a one-shot correction, cleared on use, so a genuinely changed workload
+//! re-grades itself instead of compounding stale factors.
+
+use std::hash::{BuildHasher, Hasher};
+
+use maybms_algebra::{Plan, LATE_MAT_ENV, SIP_ENV};
+use maybms_core::FxBuildHasher;
+use maybms_ql::CONF_EXACT_LIMIT_ENV;
+
+use crate::catalog::Catalog;
+use crate::planner::COST_OPT_ENV;
+
+/// Default number of cached plans (evicting least-recently-used beyond it).
+pub const DEFAULT_PLAN_CACHE_CAP: usize = 64;
+
+/// Normalize query text for cache keying: collapse every run of whitespace
+/// outside single-quoted string literals to one space and trim the ends.
+/// Case is preserved — keywords are case-insensitive in MayQL, but folding
+/// would also fold identifiers and string contents, trading correctness for
+/// a few extra hits.
+pub fn normalize_query(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_str = false;
+    let mut pending_space = false;
+    for ch in text.chars() {
+        if in_str {
+            out.push(ch);
+            if ch == '\'' {
+                in_str = false;
+            }
+            continue;
+        }
+        if ch.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        out.push(ch);
+        if ch == '\'' {
+            in_str = true;
+        }
+    }
+    out
+}
+
+/// Fingerprint of the environment knobs that influence compilation. Read
+/// per lookup — flipping a knob mid-session must miss the cache.
+fn knob_fingerprint() -> u64 {
+    let mut h = FxBuildHasher::default().build_hasher();
+    for key in [COST_OPT_ENV, SIP_ENV, LATE_MAT_ENV, CONF_EXACT_LIMIT_ENV] {
+        h.write(key.as_bytes());
+        h.write(std::env::var(key).unwrap_or_default().as_bytes());
+        h.write_u8(0);
+    }
+    h.finish()
+}
+
+/// The full cache key: normalized text plus the two fingerprints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CacheKey {
+    text: String,
+    knobs: u64,
+    catalog: u64,
+}
+
+impl CacheKey {
+    fn new(catalog: &Catalog, text: &str) -> CacheKey {
+        CacheKey {
+            text: normalize_query(text),
+            knobs: knob_fingerprint(),
+            catalog: catalog.fingerprint(),
+        }
+    }
+}
+
+/// One cached compilation.
+struct Entry {
+    key: CacheKey,
+    plan: Plan,
+    /// Pre-order cardinality estimates of `plan` (when the catalog had
+    /// statistics at compile time).
+    estimates: Option<Vec<f64>>,
+    /// One-shot per-node correction factors (`observed / estimated`) from
+    /// the latest [`PlanCache::note_observed`]; consumed by the next hit.
+    corrections: Option<Vec<f64>>,
+    /// LRU clock value of the last touch.
+    last_used: u64,
+}
+
+/// A cache hit: the plan (cloned — plans are cheap trees of `Arc`'d
+/// extension operators) plus its estimates, with any pending one-shot
+/// q-error correction already applied.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// The optimized plan.
+    pub plan: Plan,
+    /// Pre-order estimates, corrected by the latest observation when one
+    /// was pending.
+    pub estimates: Option<Vec<f64>>,
+}
+
+/// The LRU plan cache. See the module docs for the keying discipline.
+pub struct PlanCache {
+    entries: Vec<Entry>,
+    cap: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAP)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `cap` plans (minimum one).
+    pub fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            entries: Vec::new(),
+            cap: cap.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a compilation of `text` against `catalog` under the current
+    /// knobs. A hit refreshes the entry's LRU position and consumes any
+    /// pending one-shot estimate correction.
+    pub fn lookup(&mut self, catalog: &Catalog, text: &str) -> Option<CachedPlan> {
+        let key = CacheKey::new(catalog, text);
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.iter_mut().find(|e| e.key == key) {
+            Some(e) => {
+                self.hits += 1;
+                e.last_used = tick;
+                let estimates = match (e.estimates.clone(), e.corrections.take()) {
+                    (Some(ests), Some(corr)) if ests.len() == corr.len() => {
+                        Some(ests.iter().zip(&corr).map(|(&e, &c)| e * c).collect())
+                    }
+                    (ests, _) => ests,
+                };
+                Some(CachedPlan {
+                    plan: e.plan.clone(),
+                    estimates,
+                })
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a fresh compilation, evicting the least-recently-used entry
+    /// when the cache is full. An existing entry for the same key is
+    /// replaced (its correction state reset).
+    pub fn insert(
+        &mut self,
+        catalog: &Catalog,
+        text: &str,
+        plan: Plan,
+        estimates: Option<Vec<f64>>,
+    ) {
+        let key = CacheKey::new(catalog, text);
+        self.tick += 1;
+        self.entries.retain(|e| e.key != key);
+        if self.entries.len() >= self.cap {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(lru);
+            }
+        }
+        self.entries.push(Entry {
+            key,
+            plan,
+            estimates,
+            corrections: None,
+            last_used: self.tick,
+        });
+    }
+
+    /// Feed observed per-node row counts (plan pre-order, as
+    /// `(estimate, observed)` pairs — the shape `ExplainAnalyze::node_observations`
+    /// produces) back into the entry for `text`: the next hit serves
+    /// estimates scaled by `observed / estimated`, once. No-op when the
+    /// entry is gone or the shape does not match its estimate vector.
+    pub fn note_observed(&mut self, catalog: &Catalog, text: &str, observed: &[(f64, u64)]) {
+        let key = CacheKey::new(catalog, text);
+        let Some(e) = self.entries.iter_mut().find(|e| e.key == key) else {
+            return;
+        };
+        let Some(ests) = &e.estimates else {
+            return;
+        };
+        if ests.len() != observed.len() || observed.is_empty() {
+            return;
+        }
+        e.corrections = Some(
+            observed
+                .iter()
+                .map(|&(est, actual)| (actual as f64).max(1.0) / est.max(1.0))
+                .collect(),
+        );
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use maybms_core::{Schema, ValueType};
+
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert(
+            "r",
+            Schema::of(&[("a", ValueType::Int), ("b", ValueType::Int)]).unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_outside_strings() {
+        assert_eq!(
+            normalize_query("  SELECT  a\n FROM\tr  "),
+            "SELECT a FROM r"
+        );
+        // Whitespace inside string literals is content, not formatting.
+        assert_eq!(
+            normalize_query("SELECT a FROM r WHERE b = 'two  words'"),
+            "SELECT a FROM r WHERE b = 'two  words'"
+        );
+        // Case is preserved.
+        assert_eq!(normalize_query("select A from R"), "select A from R");
+    }
+
+    #[test]
+    fn hits_require_equal_text_and_catalog() {
+        let cat = catalog();
+        let mut cache = PlanCache::new(4);
+        assert!(cache.lookup(&cat, "SELECT a FROM r").is_none());
+        cache.insert(&cat, "SELECT a FROM r", Plan::scan("r"), None);
+        // Whitespace variants share an entry.
+        assert!(cache.lookup(&cat, "SELECT  a  FROM  r").is_some());
+        // A changed catalog misses.
+        let mut other = catalog();
+        other.insert("s", Schema::of(&[("c", ValueType::Int)]).unwrap());
+        assert!(cache.lookup(&other, "SELECT a FROM r").is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_beyond_capacity() {
+        let cat = catalog();
+        let mut cache = PlanCache::new(2);
+        cache.insert(&cat, "q1", Plan::scan("r"), None);
+        cache.insert(&cat, "q2", Plan::scan("r"), None);
+        // Touch q1 so q2 becomes the LRU entry.
+        assert!(cache.lookup(&cat, "q1").is_some());
+        cache.insert(&cat, "q3", Plan::scan("r"), None);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&cat, "q1").is_some());
+        assert!(cache.lookup(&cat, "q2").is_none());
+        assert!(cache.lookup(&cat, "q3").is_some());
+    }
+
+    #[test]
+    fn observed_rows_correct_the_next_estimates_once() {
+        let cat = catalog();
+        let mut cache = PlanCache::new(4);
+        cache.insert(&cat, "q", Plan::scan("r"), Some(vec![10.0, 100.0]));
+        // Observed 20 and 50 rows: factors 2.0 and 0.5.
+        cache.note_observed(&cat, "q", &[(10.0, 20), (100.0, 50)]);
+        let hit = cache.lookup(&cat, "q").expect("cached");
+        assert_eq!(hit.estimates, Some(vec![20.0, 50.0]));
+        // One-shot: the correction is consumed.
+        let hit = cache.lookup(&cat, "q").expect("cached");
+        assert_eq!(hit.estimates, Some(vec![10.0, 100.0]));
+    }
+}

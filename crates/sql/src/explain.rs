@@ -15,7 +15,10 @@
 
 use std::fmt;
 
-use maybms_algebra::{estimate_preorder, run_traced, ExecStats, Plan, StatsProvider};
+use maybms_algebra::{
+    estimate_preorder, exec_order, run_traced, sip_decisions, ExecCfg, ExecStats, Plan,
+    StatsProvider,
+};
 use maybms_core::{metrics, ParCfg, QueryTrace, Span, SpanKind, WorldSet};
 
 use crate::ast::Query;
@@ -35,6 +38,13 @@ pub struct Explain {
     /// plan tree's printed line order); `None` when the catalog has no
     /// statistics to estimate from.
     pub estimates: Option<Vec<f64>>,
+    /// Plan-time sideways-information-passing decisions per node of
+    /// `optimized`, in pre-order: `sip=bloom(keys, …)` on joins whose
+    /// estimated build side qualifies, `""` elsewhere. Empty when
+    /// `MAYBMS_SIP=0` (the runtime gate additionally checks the *actual*
+    /// build-side row count, so a rendered decision is the plan's intent,
+    /// not a promise).
+    pub sip: Vec<String>,
 }
 
 /// Analyze a parsed query and produce both plans.
@@ -44,10 +54,16 @@ pub fn explain(catalog: &Catalog, query: &Query) -> Result<Explain, SqlError> {
     let estimates = catalog
         .has_stats()
         .then(|| estimate_preorder(&optimized, catalog, catalog));
+    let sip = if ExecCfg::from_env().sip {
+        sip_decisions(&optimized, catalog, catalog)
+    } else {
+        Vec::new()
+    };
     Ok(Explain {
         lowered,
         optimized,
         estimates,
+        sip,
     })
 }
 
@@ -64,17 +80,27 @@ impl fmt::Display for Explain {
         writeln!(f, "lowered plan:")?;
         tree(f, &self.lowered)?;
         writeln!(f, "optimized plan:")?;
-        match &self.estimates {
-            // One printed line per plan node, in the same pre-order the
-            // estimator walks.
-            Some(ests) => {
-                for (line, est) in self.optimized.to_string().lines().zip(ests) {
-                    writeln!(f, "  {line}  (est_rows={})", fmt_est(*est))?;
-                }
-                Ok(())
-            }
-            None => tree(f, &self.optimized),
+        if self.estimates.is_none() && self.sip.iter().all(String::is_empty) {
+            return tree(f, &self.optimized);
         }
+        // One printed line per plan node, in the same pre-order the
+        // estimator and the SIP decision walk; each line carries whichever
+        // annotations exist.
+        for (i, line) in self.optimized.to_string().lines().enumerate() {
+            let mut ann: Vec<String> = Vec::new();
+            if let Some(ests) = &self.estimates {
+                ann.push(format!("est_rows={}", fmt_est(ests[i])));
+            }
+            if let Some(s) = self.sip.get(i).filter(|s| !s.is_empty()) {
+                ann.push(s.clone());
+            }
+            if ann.is_empty() {
+                writeln!(f, "  {line}")?;
+            } else {
+                writeln!(f, "  {line}  ({})", ann.join(" "))?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -95,6 +121,11 @@ pub struct ExplainAnalyze {
     /// Estimated output rows per node of `optimized`, in pre-order;
     /// `None` when the catalog has no statistics.
     pub estimates: Option<Vec<f64>>,
+    /// Whether sideways information passing was enabled for the traced run.
+    /// SIP evaluates join build sides before probe sides, so it changes the
+    /// *order* node spans appear in the trace — estimate alignment has to
+    /// replay that order ([`exec_order`]).
+    pub sip_enabled: bool,
 }
 
 /// Compile `query`, execute it on `ws` with tracing enabled, and collect
@@ -113,13 +144,29 @@ pub fn explain_analyze(
     let estimates = catalog
         .has_stats()
         .then(|| estimate_preorder(&optimized, catalog, catalog));
+    explain_analyze_plan(ws, optimized, estimates, query.span(), par)
+}
+
+/// The execution half of `EXPLAIN ANALYZE`, for callers that already hold a
+/// compiled plan — notably the REPL's plan cache, which passes the *cached*
+/// estimates (with any pending one-shot q-error correction applied) so the
+/// rendered `est_rows=` reflect what the planner would use next time.
+pub fn explain_analyze_plan(
+    ws: &mut WorldSet,
+    optimized: Plan,
+    estimates: Option<Vec<f64>>,
+    span: crate::Span,
+    par: &ParCfg,
+) -> Result<ExplainAnalyze, SqlError> {
+    let sip_enabled = ExecCfg::from_env().sip;
     let (_result, stats, trace) = run_traced(ws, &optimized, par)
-        .map_err(|e| SqlError::new(query.span(), format!("execution failed: {e}")))?;
+        .map_err(|e| SqlError::new(span, format!("execution failed: {e}")))?;
     let analyzed = ExplainAnalyze {
         optimized,
         trace,
         stats,
         estimates,
+        sip_enabled,
     };
     // Grade the estimates against the observed row counts while we have
     // both in hand: one q-error histogram sample per analyzed plan node.
@@ -146,28 +193,62 @@ fn fmt_est(est: f64) -> String {
 }
 
 impl ExplainAnalyze {
-    /// Pair each *node* span (execution pre-order, which mirrors the plan's
-    /// printed pre-order) with its estimate. Returns an empty vector when
-    /// estimates are absent or the span tree diverges from the plan tree
-    /// (e.g. a shared subtree executed once) — annotation then degrades to
-    /// none rather than mislabeling nodes.
-    fn node_estimates(&self) -> Vec<(f64, u64)> {
-        let Some(ests) = &self.estimates else {
-            return Vec::new();
-        };
+    /// The *node* spans of the trace, in execution order, but only when the
+    /// span tree matches the plan tree node-for-node (a shared extension
+    /// subtree executed once diverges — annotation then degrades to none
+    /// rather than mislabeling nodes).
+    fn node_spans(&self) -> Option<Vec<&Span>> {
         let nodes: Vec<&Span> = self
             .trace
             .spans
             .iter()
             .filter(|s| s.kind == SpanKind::Node)
             .collect();
+        (nodes.len() == self.optimized.node_count()).then_some(nodes)
+    }
+
+    /// Pair each node span with its estimate, in *execution* order (the
+    /// order the rendered span tree prints). Under SIP, execution order
+    /// differs from plan pre-order — [`exec_order`] maps between them.
+    /// Empty when estimates are absent or the span tree diverges.
+    fn node_estimates(&self) -> Vec<(f64, u64)> {
+        let Some(ests) = &self.estimates else {
+            return Vec::new();
+        };
+        let Some(nodes) = self.node_spans() else {
+            return Vec::new();
+        };
         if nodes.len() != ests.len() {
             return Vec::new();
         }
-        ests.iter()
+        let order = exec_order(&self.optimized, self.sip_enabled);
+        order
+            .iter()
             .zip(nodes)
-            .map(|(&e, s)| (e, s.rows_out))
+            .map(|(&pre, s)| (ests[pre], s.rows_out))
             .collect()
+    }
+
+    /// Pair each plan node's estimate with its observed output rows, in
+    /// *plan pre-order* — the alignment the plan cache's q-error feedback
+    /// consumes. Empty when estimates are absent or the span tree diverges
+    /// from the plan tree.
+    pub fn node_observations(&self) -> Vec<(f64, u64)> {
+        let Some(ests) = &self.estimates else {
+            return Vec::new();
+        };
+        let Some(nodes) = self.node_spans() else {
+            return Vec::new();
+        };
+        if nodes.len() != ests.len() {
+            return Vec::new();
+        }
+        let order = exec_order(&self.optimized, self.sip_enabled);
+        let mut out = vec![(0.0, 0u64); nodes.len()];
+        for (&pre, s) in order.iter().zip(nodes) {
+            out[pre] = (ests[pre], s.rows_out);
+        }
+        out
     }
 }
 
@@ -204,6 +285,15 @@ impl fmt::Display for ExplainAnalyze {
             self.stats.output_rows,
             self.trace.threads
         )?;
+        if self.stats.sip.filters_built > 0 {
+            writeln!(
+                f,
+                "sip: filters={} tested={} pruned={}",
+                self.stats.sip.filters_built,
+                self.stats.sip.probe_rows_tested,
+                self.stats.sip.probe_rows_pruned
+            )?;
+        }
         if !node_ests.is_empty() {
             let mut qs: Vec<f64> = node_ests.iter().map(|&(e, a)| q_error(e, a)).collect();
             qs.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod ast;
+pub mod cache;
 pub mod catalog;
 pub mod explain;
 pub mod lexer;
@@ -58,8 +59,9 @@ pub mod span;
 pub mod unparse;
 
 pub use ast::{Query, Statement};
+pub use cache::{normalize_query, CachedPlan, PlanCache, DEFAULT_PLAN_CACHE_CAP};
 pub use catalog::Catalog;
-pub use explain::{explain, explain_analyze, Explain, ExplainAnalyze};
+pub use explain::{explain, explain_analyze, explain_analyze_plan, Explain, ExplainAnalyze};
 pub use parser::{parse_query, parse_script, parse_statement};
 pub use planner::{
     analyze, compile, compile_unoptimized, cost_opt_enabled, lower, optimize_plan, COST_OPT_ENV,

@@ -39,9 +39,13 @@ fn explain_text(query: &str) -> String {
 
 /// The selective predicate sinks below the join into the `census` side,
 /// and projection pruning narrows the join to the columns consumed above
-/// (the join key `ssn` plus the projected `city`).
+/// (the join key `ssn` plus the projected `city`). The join line carries
+/// the plan-time SIP decision: without statistics the build side defaults
+/// under the cutoff, so a Bloom filter over `ssn` will be pushed sideways
+/// into the probe subtree.
 #[test]
 fn explain_pushes_selection_below_the_join() {
+    std::env::set_var(maybms_algebra::SIP_ENV, "1");
     let text = explain_text("SELECT POSSIBLE city FROM census, homes WHERE name = 'Smith'");
     let expected = "\
 lowered plan:
@@ -54,7 +58,7 @@ lowered plan:
 optimized plan:
   possible
     project[city]
-      natural-join
+      natural-join  (sip=bloom(ssn))
         project[ssn]
           select[name = 'Smith']
             scan[census]
@@ -136,12 +140,16 @@ optimized plan:
 
 /// With statistics registered, `EXPLAIN` renders the cost model's
 /// `est_rows=` on every optimized-plan node, and the cost phase moves the
-/// selective census side to the hash build (right) side of the join.
+/// selective census side to the hash build (right) side of the join — whose
+/// estimated 5 rows are under the SIP cutoff, so the join also renders its
+/// `sip=bloom(ssn)` decision.
 #[test]
 fn explain_shows_estimates_and_reorders_with_stats() {
     // This golden pins the *cost-optimized* shape; neutralize an ambient
-    // MAYBMS_COST_OPT=0 (the CI matrix runs the suite both ways).
+    // MAYBMS_COST_OPT=0 or MAYBMS_SIP=0 (the CI matrix runs the suite all
+    // ways).
     std::env::set_var(maybms_sql::COST_OPT_ENV, "1");
+    std::env::set_var(maybms_algebra::SIP_ENV, "1");
     let mut catalog = census_catalog();
     let rel = |rows: u64, nontrivial: f64, cols: &[(&str, f64)]| RelationStats {
         rows,
@@ -185,7 +193,7 @@ lowered plan:
 optimized plan:
   possible  (est_rows=5)
     project[city]  (est_rows=5)
-      natural-join  (est_rows=5)
+      natural-join  (est_rows=5 sip=bloom(ssn))
         scan[homes]  (est_rows=50)
         project[ssn]  (est_rows=5)
           select[name = 'Smith']  (est_rows=5)

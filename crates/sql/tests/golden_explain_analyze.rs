@@ -85,9 +85,11 @@ fn mask_times(s: &str) -> String {
 
 #[test]
 fn explain_analyze_renders_the_census_conf_join() {
-    // This golden pins the *cost-optimized* shape; neutralize an ambient
-    // MAYBMS_COST_OPT=0 (the CI matrix runs the suite both ways).
+    // This golden pins the *cost-optimized, SIP-on* shape; neutralize an
+    // ambient MAYBMS_COST_OPT=0 or MAYBMS_SIP=0 (the CI matrix runs the
+    // suite all ways).
     std::env::set_var(maybms_sql::COST_OPT_ENV, "1");
+    std::env::set_var(maybms_algebra::SIP_ENV, "1");
     let mut ws = census_world();
     let catalog = Catalog::from_world_set(&ws);
     let query = parse_query("SELECT CONF city FROM census, homes WHERE name = 'Smith'")
@@ -97,22 +99,30 @@ fn explain_analyze_renders_the_census_conf_join() {
     // The cost phase reorders the join — the filtered census side (2
     // estimated rows) becomes the hash build (right) side — and every
     // node line carries the estimator's `est_rows=`, graded against the
-    // observed counts by the closing `estimation:` line (the estimates
-    // are exact on this tiny world, hence q_error 1.00).
+    // observed counts by the closing `estimation:` line. With SIP on, the
+    // executor evaluates the build side *first* (the trace tree renders
+    // children in execution order, so the census subtree prints above
+    // `scan[homes]`) and pushes a Bloom filter over the two Smith ssns
+    // into the homes scan: one of its three rows (ssn 186) is pruned
+    // before the join sees it — `rows=2` at the scan, `in=4` at the join,
+    // and the closing `sip:` line counts the filter. The pruned scan is
+    // also the one node where the observed count diverges from the
+    // estimate (3 estimated, 2 after pruning), hence q_error max 1.50.
     let expected = "\
 analyzed plan:
   · scan-convert  (time=<T>ms items=7)
   conf  (time=<T>ms rows=2 in=2 exact_groups=2 est_rows=2)
     project[city]  (time=<T>ms rows=2 in=2 est_rows=2)
-      natural-join  (time=<T>ms rows=2 in=5 conjoins=2 est_rows=2)
-        scan[homes]  (time=<T>ms rows=3 est_rows=3)
+      natural-join  (time=<T>ms rows=2 in=4 conjoins=2 est_rows=2)
         project[ssn]  (time=<T>ms rows=2 in=2 est_rows=2)
           select[name = 'Smith']  (time=<T>ms rows=2 in=4 est_rows=2)
             scan[census]  (time=<T>ms rows=4 est_rows=4)
+        scan[homes]  (time=<T>ms rows=2 est_rows=3)
     · canonical-sort  (time=<T>ms items=2)
     · solve  (time=<T>ms items=2)
 execution: total=<T>ms rows=2 threads=1
-estimation: nodes=7 q_error median=1.00 max=1.00
+sip: filters=1 tested=3 pruned=1
+estimation: nodes=7 q_error median=1.00 max=1.50
 ";
     assert_eq!(mask_times(&analyzed.to_string()), expected);
 }

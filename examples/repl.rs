@@ -25,11 +25,11 @@
 //!
 //! Meta commands: `\d` lists the relations, `\stats` shows the last query's
 //! executor statistics (descriptor-pool occupancy and hit rates,
-//! string-dictionary size, elided dedups, parallelism and confidence-solver
-//! counters), `\timing` toggles per-statement wall-clock reporting,
-//! `\trace on|off` toggles span tracing for subsequent queries,
-//! `\trace last <file>` exports the last captured trace as Chrome
-//! trace-event JSON (open it in `chrome://tracing` or Perfetto),
+//! string-dictionary size, elided dedups, parallelism, confidence-solver
+//! and SIP counters, plan-cache hit rate), `\timing` toggles per-statement
+//! wall-clock reporting, `\trace on|off` toggles span tracing for
+//! subsequent queries, `\trace last <file>` exports the last captured trace
+//! as Chrome trace-event JSON (open it in `chrome://tracing` or Perfetto),
 //! `\metrics` prints the process-wide metrics registry, `\set threads N`
 //! changes the session's worker budget (initially `MAYBMS_THREADS` or the
 //! machine's parallelism), `\set conf_exact_limit N` changes the cost
@@ -37,7 +37,14 @@
 //! exact per-group computation to sampling (initially
 //! `MAYBMS_CONF_EXACT_LIMIT` or 4096), `\set cost_opt on|off` toggles the
 //! statistics-driven cost-based plan phase (initially `MAYBMS_COST_OPT`,
-//! default on), `\q` quits, `\help` shows the cheat sheet.
+//! default on), `\set sip on|off` toggles Bloom-filter sideways information
+//! passing (initially `MAYBMS_SIP`, default on), `\set late_mat on|off`
+//! toggles late materialization in join pipelines (initially
+//! `MAYBMS_LATE_MAT`, default on), `\set plan_cache on|off` toggles the
+//! session's LRU cache of optimized plans, `\q` quits, `\help` shows the
+//! cheat sheet. A `\set` with an unknown knob or a malformed value is a
+//! hard error (it lists the valid knobs) — in batch mode it stops the run
+//! with a non-zero exit instead of silently continuing with stale settings.
 //!
 //! In `--batch` mode the file is processed line by line exactly like an
 //! interactive session (`--` comments, `;` separators, `\`-meta commands —
@@ -51,14 +58,18 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use maybms::algebra::{run_traced, run_with_stats_opts, ExecStats};
+use maybms::algebra::{
+    estimate_preorder, run_traced, run_with_stats_opts, ExecCfg, ExecStats, StatsProvider,
+    LATE_MAT_ENV, SIP_ENV,
+};
 use maybms::core::{
     metrics, ParCfg, QueryTrace, Relation, Schema, Tuple, URelation, Value, ValueType, WorldSet,
 };
 use maybms::ql::{conf_exact_limit_from_env, CONF_EXACT_LIMIT_ENV};
 use maybms::sql::lexer::{lex, TokenKind};
 use maybms::sql::{
-    cost_opt_enabled, explain, explain_analyze, parse_statement, Catalog, Statement, COST_OPT_ENV,
+    cost_opt_enabled, explain, explain_analyze, explain_analyze_plan, parse_statement, Catalog,
+    PlanCache, Statement, COST_OPT_ENV,
 };
 
 fn main() -> ExitCode {
@@ -140,6 +151,11 @@ struct Session {
     threads: usize,
     timing: bool,
     trace: bool,
+    /// Whether compiled plans are served from / inserted into `plan_cache`
+    /// (`\set plan_cache on|off`). The cache itself persists across
+    /// toggles, so flipping the knob off and on keeps warm entries.
+    plan_cache_on: bool,
+    plan_cache: PlanCache,
     last_stats: Option<ExecStats>,
     last_trace: Option<QueryTrace>,
 }
@@ -151,6 +167,8 @@ impl Session {
             threads: ParCfg::from_env().threads,
             timing: false,
             trace: false,
+            plan_cache_on: true,
+            plan_cache: PlanCache::default(),
             last_stats: None,
             last_trace: None,
         }
@@ -185,8 +203,10 @@ impl Session {
             let trimmed = line.trim();
             if buffer_blank(&buffer) && trimmed.starts_with('\\') {
                 buffer.clear();
-                if let MetaOutcome::Quit = self.meta(trimmed) {
-                    return ExitCode::SUCCESS;
+                match self.meta(trimmed) {
+                    Ok(MetaOutcome::Quit) => return ExitCode::SUCCESS,
+                    Ok(MetaOutcome::Continue) => {}
+                    Err(msg) => eprint!("{msg}"),
                 }
                 continue;
             }
@@ -219,8 +239,13 @@ impl Session {
             if buffer_blank(&buffer) && trimmed.starts_with('\\') {
                 buffer.clear();
                 println!("mayql> {trimmed}");
-                if let MetaOutcome::Quit = self.meta(trimmed) {
-                    return ExitCode::SUCCESS;
+                match self.meta(trimmed) {
+                    Ok(MetaOutcome::Quit) => return ExitCode::SUCCESS,
+                    Ok(MetaOutcome::Continue) => {}
+                    Err(msg) => {
+                        eprint!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
                 }
                 continue;
             }
@@ -274,20 +299,16 @@ impl Session {
     fn execute(&mut self, stmt: &Statement, src: &str) -> Result<(), String> {
         let catalog = Catalog::from_world_set(&self.ws);
         let par = ParCfg::with_threads(self.threads);
-        let compile = |query: &maybms::sql::Query| -> Result<maybms::algebra::Plan, String> {
-            let (plan, _) = maybms::sql::lower(&catalog, query).map_err(|e| e.render(src))?;
-            maybms::sql::optimize_plan(&catalog, &plan, query.span()).map_err(|e| e.render(src))
-        };
         match stmt {
             Statement::Query(query) => {
-                let plan = compile(query)?;
+                let (plan, _) = self.compile_cached(&catalog, query, src)?;
                 let result = self.run_plan(&plan, &par)?;
                 print!("{result}");
                 println!("({} rows)", result.len());
                 Ok(())
             }
             Statement::Let { name, query, .. } => {
-                let plan = compile(query)?;
+                let (plan, _) = self.compile_cached(&catalog, query, src)?;
                 let result = self.run_plan(&plan, &par)?;
                 let rows = result.len();
                 self.ws
@@ -301,7 +322,27 @@ impl Session {
                 analyze: false,
                 ..
             } => {
-                let ex = explain(&catalog, query).map_err(|e| e.render(src))?;
+                let mut ex = explain(&catalog, query).map_err(|e| e.render(src))?;
+                // Route the estimates through the plan cache so a pending
+                // one-shot q-error correction (from a previous EXPLAIN
+                // ANALYZE of this query) shows up in the rendered
+                // `est_rows=` — the planner's corrected beliefs, not its
+                // original ones.
+                if self.plan_cache_on {
+                    let key = query_text(query, src);
+                    match self.plan_cache.lookup(&catalog, key) {
+                        Some(hit) => {
+                            ex.optimized = hit.plan;
+                            ex.estimates = hit.estimates;
+                        }
+                        None => self.plan_cache.insert(
+                            &catalog,
+                            key,
+                            ex.optimized.clone(),
+                            ex.estimates.clone(),
+                        ),
+                    }
+                }
                 print!("{ex}");
                 Ok(())
             }
@@ -314,14 +355,65 @@ impl Session {
                 // components, materialized pools) must not leak into the
                 // session world set.
                 let mut scratch = self.ws.clone();
-                let ex = explain_analyze(&catalog, &mut scratch, query, &par)
-                    .map_err(|e| e.render(src))?;
+                let ex = if self.plan_cache_on {
+                    let (plan, ests) = self.compile_cached(&catalog, query, src)?;
+                    explain_analyze_plan(&mut scratch, plan, ests, query.span(), &par)
+                        .map_err(|e| e.render(src))?
+                } else {
+                    explain_analyze(&catalog, &mut scratch, query, &par)
+                        .map_err(|e| e.render(src))?
+                };
+                // Feed the observed per-node row counts back: the cached
+                // entry's next estimates are scaled by the measured
+                // q-error, once.
+                if self.plan_cache_on {
+                    let observed = ex.node_observations();
+                    if !observed.is_empty() {
+                        self.plan_cache
+                            .note_observed(&catalog, query_text(query, src), &observed);
+                    }
+                }
                 print!("{ex}");
                 self.last_stats = Some(ex.stats);
                 self.last_trace = Some(ex.trace);
                 Ok(())
             }
         }
+    }
+
+    /// Compile one query to its optimized plan — through the session plan
+    /// cache when it is on. The cache key is the query's source slice, so
+    /// `SELECT …`, `LET x = SELECT …`, and `EXPLAIN [ANALYZE] SELECT …` of
+    /// the same query text share one entry. Returns the plan and its
+    /// pre-order cardinality estimates (corrected by the latest observed
+    /// run when a one-shot q-error correction was pending).
+    #[allow(clippy::type_complexity)]
+    fn compile_cached(
+        &mut self,
+        catalog: &Catalog,
+        query: &maybms::sql::Query,
+        src: &str,
+    ) -> Result<(maybms::algebra::Plan, Option<Vec<f64>>), String> {
+        if self.plan_cache_on {
+            if let Some(hit) = self.plan_cache.lookup(catalog, query_text(query, src)) {
+                return Ok((hit.plan, hit.estimates));
+            }
+        }
+        let (plan, _) = maybms::sql::lower(catalog, query).map_err(|e| e.render(src))?;
+        let plan =
+            maybms::sql::optimize_plan(catalog, &plan, query.span()).map_err(|e| e.render(src))?;
+        let estimates = catalog
+            .has_stats()
+            .then(|| estimate_preorder(&plan, catalog, catalog));
+        if self.plan_cache_on {
+            self.plan_cache.insert(
+                catalog,
+                query_text(query, src),
+                plan.clone(),
+                estimates.clone(),
+            );
+        }
+        Ok((plan, estimates))
     }
 
     /// Run a compiled plan, traced or not per the session's `\trace` flag,
@@ -350,9 +442,12 @@ impl Session {
     }
 
     /// Handle one `\`-meta command (shared by interactive and batch mode).
-    fn meta(&mut self, cmd: &str) -> MetaOutcome {
+    /// An `Err` is a hard error: interactive mode prints it and continues,
+    /// batch mode stops with a non-zero exit (a script that mistypes a knob
+    /// must not keep running on stale settings).
+    fn meta(&mut self, cmd: &str) -> Result<MetaOutcome, String> {
         match cmd {
-            "\\q" | "\\quit" => return MetaOutcome::Quit,
+            "\\q" | "\\quit" => return Ok(MetaOutcome::Quit),
             "\\d" => self.describe(),
             "\\stats" => self.stats(),
             "\\metrics" => print!("{}", metrics().render()),
@@ -362,10 +457,10 @@ impl Session {
             }
             "\\help" | "\\h" => help(),
             cmd if cmd.starts_with("\\trace") => self.trace_cmd(cmd),
-            cmd if cmd.starts_with("\\set") => self.set_cmd(cmd),
+            cmd if cmd.starts_with("\\set") => self.set_cmd(cmd)?,
             other => println!("unknown command `{other}`; try \\help"),
         }
-        MetaOutcome::Continue
+        Ok(MetaOutcome::Continue)
     }
 
     /// `\trace on|off` toggles span tracing for subsequent queries;
@@ -403,17 +498,21 @@ impl Session {
         }
     }
 
-    fn set_cmd(&mut self, cmd: &str) {
+    /// `\set <knob> <value>`. Unknown knobs and malformed values are hard
+    /// errors listing the valid knobs — never a silent no-op.
+    fn set_cmd(&mut self, cmd: &str) -> Result<(), String> {
+        const VALID: &str = "valid knobs: threads <N>, conf_exact_limit <N>, \
+             cost_opt on|off, sip on|off, late_mat on|off, plan_cache on|off";
         let mut parts = cmd.split_whitespace().skip(1);
         let knob = parts.next();
         let raw = parts.next();
         let number = raw.and_then(|v| v.parse::<usize>().ok());
         match (knob, raw, number) {
-            (Some("threads"), _, Some(n)) if n >= 1 => {
+            (Some("threads"), Some(_), Some(n)) if n >= 1 => {
                 self.threads = n;
                 println!("threads = {n}");
             }
-            (Some("conf_exact_limit"), _, Some(n)) => {
+            (Some("conf_exact_limit"), Some(_), Some(n)) => {
                 // Read back through the env so the session's queries and
                 // the `\set` knob agree on one source of truth.
                 std::env::set_var(CONF_EXACT_LIMIT_ENV, n.to_string());
@@ -429,12 +528,47 @@ impl Session {
                     if cost_opt_enabled() { "on" } else { "off" }
                 );
             }
-            _ => println!(
-                "usage: \\set threads <N>   (N >= 1)\n       \
-                 \\set conf_exact_limit <N>   (0 forces sampling)\n       \
-                 \\set cost_opt on|off   (cost-based join reordering)"
-            ),
+            (Some("sip"), Some(v @ ("on" | "off")), _) => {
+                std::env::set_var(SIP_ENV, if v == "on" { "1" } else { "0" });
+                println!(
+                    "sip = {}",
+                    if ExecCfg::from_env().sip { "on" } else { "off" }
+                );
+            }
+            (Some("late_mat"), Some(v @ ("on" | "off")), _) => {
+                std::env::set_var(LATE_MAT_ENV, if v == "on" { "1" } else { "0" });
+                println!(
+                    "late_mat = {}",
+                    if ExecCfg::from_env().late_mat {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                );
+            }
+            (Some("plan_cache"), Some(v @ ("on" | "off")), _) => {
+                self.plan_cache_on = v == "on";
+                println!("plan_cache = {v}");
+            }
+            (
+                Some(
+                    knob @ ("threads" | "conf_exact_limit" | "cost_opt" | "sip" | "late_mat"
+                    | "plan_cache"),
+                ),
+                raw,
+                _,
+            ) => {
+                return Err(match raw {
+                    Some(v) => format!("error: \\set {knob}: invalid value `{v}`; {VALID}\n"),
+                    None => format!("error: \\set {knob}: missing value; {VALID}\n"),
+                });
+            }
+            (Some(other), _, _) => {
+                return Err(format!("error: \\set: unknown knob `{other}`; {VALID}\n"));
+            }
+            (None, _, _) => return Err(format!("error: usage: \\set <knob> <value>; {VALID}\n")),
         }
+        Ok(())
     }
 
     /// Print the last query's executor statistics (the `\stats`
@@ -445,12 +579,7 @@ impl Session {
     fn stats(&self) {
         let Some(s) = &self.last_stats else {
             println!("no query executed yet");
-            println!(
-                "session settings: threads = {}, conf_exact_limit = {}, cost_opt = {}",
-                self.threads,
-                conf_exact_limit_from_env(),
-                if cost_opt_enabled() { "on" } else { "off" }
-            );
+            self.print_cache_and_settings();
             return;
         };
         let p = s.pool;
@@ -497,12 +626,44 @@ impl Session {
                 c.exact_groups, c.sampled_groups, c.samples_drawn, c.largest_group
             );
         }
+        let sip = s.sip;
+        if sip.filters_built > 0 {
+            println!(
+                "  sip:             {} filters built, {} probe rows tested, {} pruned ({:.1}%)",
+                sip.filters_built,
+                sip.probe_rows_tested,
+                sip.probe_rows_pruned,
+                if sip.probe_rows_tested == 0 {
+                    0.0
+                } else {
+                    sip.probe_rows_pruned as f64 / sip.probe_rows_tested as f64 * 100.0
+                }
+            );
+        }
         println!("  output:          {} rows", s.output_rows);
+        self.print_cache_and_settings();
+    }
+
+    /// The `\stats` footer: plan-cache counters plus every session knob —
+    /// printed whether or not a query has run yet, so the session state is
+    /// always inspectable.
+    fn print_cache_and_settings(&self) {
         println!(
-            "session settings: threads = {}, conf_exact_limit = {}, cost_opt = {}",
+            "plan cache: {} hits, {} misses, {} entries",
+            self.plan_cache.hits(),
+            self.plan_cache.misses(),
+            self.plan_cache.len()
+        );
+        let exec = ExecCfg::from_env();
+        let on_off = |b: bool| if b { "on" } else { "off" };
+        println!(
+            "session settings: threads = {}, conf_exact_limit = {}, cost_opt = {}, sip = {}, late_mat = {}, plan_cache = {}",
             self.threads,
             conf_exact_limit_from_env(),
-            if cost_opt_enabled() { "on" } else { "off" }
+            on_off(cost_opt_enabled()),
+            on_off(exec.sip),
+            on_off(exec.late_mat),
+            on_off(self.plan_cache_on)
         );
     }
 
@@ -543,6 +704,13 @@ fn statement_complete(buffer: &str, last_line: &str) -> bool {
     }
 }
 
+/// The query's exact source slice — the plan cache's key text (the cache
+/// normalizes whitespace itself).
+fn query_text<'a>(query: &maybms::sql::Query, src: &'a str) -> &'a str {
+    let span = query.span();
+    &src[span.start.min(src.len())..span.end.min(src.len())]
+}
+
 /// A statement's source collapsed to one echo line: comments dropped,
 /// whitespace normalized, trailing `;` removed.
 fn statement_text(src: &str) -> String {
@@ -576,6 +744,9 @@ fn help() {
          \\set threads <N>  worker-thread budget for query execution\n  \
          \\set conf_exact_limit <N>  cost cutover for CONF(eps, delta); 0 forces sampling\n  \
          \\set cost_opt on|off  cost-based join reordering (initially MAYBMS_COST_OPT)\n  \
+         \\set sip on|off  Bloom-filter sideways information passing (initially MAYBMS_SIP)\n  \
+         \\set late_mat on|off  late materialization in join pipelines (initially MAYBMS_LATE_MAT)\n  \
+         \\set plan_cache on|off  session LRU cache of optimized plans\n  \
          \\help    this help\n  \
          \\q       quit"
     );
